@@ -1,0 +1,120 @@
+// Ablation benches for the starred design choices in DESIGN.md §5
+// (beyond the paper's own N-Kw / N-Str / N-Exp rows):
+//
+//   (a) wide-only vs deep-only vs full Wide-Deep cost model;
+//   (b) RLView with vs without a meaningful replay memory — the paper's
+//       stated reason RLView converges where IterView oscillates.
+
+#include <cmath>
+
+#include "bench_common.h"
+#include "costmodel/wide_deep.h"
+#include "select/rlview.h"
+
+namespace {
+
+using namespace autoview;
+using namespace autoview::bench;
+
+double TailStdDev(const std::vector<double>& trace) {
+  const size_t start = trace.size() * 2 / 3;
+  double mean = 0.0;
+  for (size_t i = start; i < trace.size(); ++i) mean += trace[i];
+  const double n = static_cast<double>(trace.size() - start);
+  mean /= n;
+  double var = 0.0;
+  for (size_t i = start; i < trace.size(); ++i) {
+    var += (trace[i] - mean) * (trace[i] - mean);
+  }
+  return std::sqrt(var / n);
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Ablation (a): wide vs deep vs wide-deep cost model (WK1)");
+  {
+    BenchSetup setup = MakeBench("WK1");
+    const auto& dataset = setup.system->cost_dataset();
+    DatasetSplit split = SplitDataset(dataset.size(), 13);
+    std::vector<CostSample> train, test;
+    for (size_t i : split.train) train.push_back(dataset[i]);
+    for (size_t i : split.test) test.push_back(dataset[i]);
+
+    TablePrinter table({"variant", "test MAE x1e-6", "test MAPE %"});
+    struct Variant {
+      const char* name;
+      WideDeepOptions opts;
+    };
+    // "wide-only" is approximated by stripping every non-numeric encoder
+    // (N-Exp + frozen embeddings leaves only pooled static vectors);
+    // "deep-only" keeps the full deep path (the wide affine remains but
+    // carries the same numerics, so the contrast isolates the encoders).
+    WideDeepOptions wide_only = WideDeepOptions::NExp();
+    wide_only.learn_keyword_embedding = false;
+    wide_only.use_string_cnn = false;
+    Variant variants[] = {
+        {"numeric-only (wide-ish)", wide_only},
+        {"no plan sequence (N-Exp)", WideDeepOptions::NExp()},
+        {"full W-D", WideDeepOptions::Full()},
+    };
+    for (auto& variant : variants) {
+      variant.opts.epochs = 20;
+      WideDeepEstimator model(&setup.workload.db->catalog(), variant.opts);
+      AV_CHECK(model.Train(train).ok());
+      EstimatorMetrics metrics = EvaluateEstimator(model, test);
+      table.AddRow({variant.name, FormatDouble(metrics.mae * 1e6, 2),
+                    FormatDouble(100.0 * metrics.mape, 2)});
+    }
+    table.Print();
+    std::printf(
+        "Expected: accuracy improves as encoders are added (numeric-only\n"
+        "worst, full W-D best) — the deep non-numeric encoders carry the\n"
+        "signal numeric statistics cannot (same-shaped plans, different\n"
+        "literals).\n");
+  }
+
+  PrintHeader("Ablation (b): RLView replay memory (WK1)");
+  {
+    BenchSetup setup = MakeBench("WK1");
+    const MvsProblem& problem = setup.system->problem();
+    TablePrinter table({"memory", "best utility x1e-6", "tail stddev x1e-6"});
+    struct Variant {
+      const char* label;
+      size_t capacity;
+      size_t min_mem;
+      size_t target_sync;
+      bool dueling;
+    };
+    for (const Variant& v : {Variant{"none (size 1)", 1, 1, 0, false},
+                             Variant{"small (32)", 32, 16, 0, false},
+                             Variant{"full (512)", 512, 32, 0, false},
+                             Variant{"full + target net", 512, 32, 64, false},
+                             Variant{"full + dueling", 512, 32, 0, true}}) {
+      RLViewSelector::Options opts;
+      opts.init_iterations = 10;
+      opts.episodes = 15;
+      opts.memory_capacity = v.capacity;
+      opts.min_memory = v.min_mem;
+      opts.target_sync_every = v.target_sync;
+      opts.dueling = v.dueling;
+      opts.seed = 5;
+      RLViewSelector rlview(opts);
+      auto result = rlview.Select(problem);
+      AV_CHECK(result.ok());
+      table.AddRow({v.label, FormatDouble(result.value().utility * 1e6, 2),
+                    FormatDouble(TailStdDev(rlview.utility_trace()) * 1e6,
+                                 2)});
+    }
+    table.Print();
+    std::printf(
+        "Reading: best utilities land close together (the warm start and\n"
+        "exact Y-Opt do much of the work on an instance this size); the\n"
+        "interesting column is the tail stddev — variants whose bootstrap\n"
+        "is stabler (dueling, larger memories) tend to hold a flatter\n"
+        "plateau. On paper-scale instances the memory's effect grows with\n"
+        "the state space, which is the paper's argument against the\n"
+        "memory-less IterView.\n");
+  }
+  return 0;
+}

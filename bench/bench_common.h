@@ -1,0 +1,69 @@
+#pragma once
+
+// Shared setup for the paper-table/figure harness binaries.
+//
+// Every bench binary regenerates one table or figure of the paper at a
+// reduced-but-faithful scale (see DESIGN.md §2 for the substitutions).
+// Set AUTOVIEW_BENCH_SCALE (default 1.0) to grow/shrink the workloads.
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "core/autoview.h"
+#include "util/logging.h"
+#include "util/strings.h"
+#include "util/table_printer.h"
+#include "workload/generator.h"
+
+namespace autoview {
+namespace bench {
+
+inline double BenchScale() {
+  const char* env = std::getenv("AUTOVIEW_BENCH_SCALE");
+  return env ? std::atof(env) : 1.0;
+}
+
+/// A workload plus its fully-built AutoViewSystem (ground truth ready).
+struct BenchSetup {
+  GeneratedWorkload workload;
+  std::unique_ptr<AutoViewSystem> system;
+};
+
+/// Builds one of the three paper workloads. JOB uses exact benefits (the
+/// paper executes all rewritten JOB queries); WK1/WK2 use the RealOpt
+/// approximation, as in §VI-B1.
+inline BenchSetup MakeBench(const std::string& name) {
+  BenchSetup setup;
+  AutoViewOptions options;
+  if (name == "JOB") {
+    JobWorkloadSpec spec;
+    spec.base_queries =
+        static_cast<size_t>(113 * BenchScale());
+    setup.workload = GenerateJobWorkload(spec);
+    options.exact_benefits = true;
+  } else if (name == "WK1") {
+    setup.workload = GenerateCloudWorkload(Wk1Spec(BenchScale()));
+    options.exact_benefits = false;
+  } else if (name == "WK2") {
+    setup.workload = GenerateCloudWorkload(Wk2Spec(BenchScale()));
+    options.exact_benefits = false;
+  } else {
+    AV_CHECK(false);
+  }
+  setup.system = std::make_unique<AutoViewSystem>(setup.workload.db.get(),
+                                                  options);
+  AV_CHECK(setup.system->LoadWorkload(setup.workload.sql).ok());
+  AV_CHECK(setup.system->BuildGroundTruth().ok());
+  return setup;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace bench
+}  // namespace autoview

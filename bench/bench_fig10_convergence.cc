@@ -1,0 +1,85 @@
+// Reproduces Fig. 10: convergence of IterView vs RLView on WK1 / WK2.
+//
+// Both methods run n = n1 + n2-driven iterations; the per-iteration
+// utility is printed as a text series (downsampled). Paper shape:
+// IterView oscillates sharply forever (no memory across iterations);
+// RLView rises and then holds a stable plateau; WK1's swings are wider
+// than WK2's (more skewed benefit/overhead).
+
+#include <cmath>
+
+#include "bench_common.h"
+#include "select/iterview.h"
+#include "select/rlview.h"
+
+namespace {
+
+using namespace autoview;
+using namespace autoview::bench;
+
+double TailStdDev(const std::vector<double>& trace) {
+  const size_t start = trace.size() * 2 / 3;
+  double mean = 0.0;
+  for (size_t i = start; i < trace.size(); ++i) mean += trace[i];
+  const double n = static_cast<double>(trace.size() - start);
+  mean /= n;
+  double var = 0.0;
+  for (size_t i = start; i < trace.size(); ++i) {
+    var += (trace[i] - mean) * (trace[i] - mean);
+  }
+  return std::sqrt(var / n);
+}
+
+void PrintSeries(const std::string& label, const std::vector<double>& trace,
+                 size_t points) {
+  std::printf("%-9s", label.c_str());
+  const size_t step = std::max<size_t>(1, trace.size() / points);
+  for (size_t i = 0; i < trace.size(); i += step) {
+    std::printf(" %7.1f", trace[i] * 1e6);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 10: IterView vs RLView convergence (utility $ x 1e-6)");
+  for (const char* name : {"WK1", "WK2"}) {
+    BenchSetup setup = MakeBench(name);
+    const MvsProblem& problem = setup.system->problem();
+
+    const size_t n1 = 10;
+    const size_t episodes = 25;
+    RLViewSelector::Options rl_opts;
+    rl_opts.init_iterations = n1;
+    rl_opts.episodes = episodes;
+    // The paper's policy is pure argmax; keep exploration noise out of
+    // the convergence trace.
+    rl_opts.epsilon = 0.02;
+    rl_opts.seed = 3;
+    RLViewSelector rlview(rl_opts);
+    AV_CHECK(rlview.Select(problem).ok());
+
+    // Fair comparison (paper): IterView runs as many iterations as
+    // RLView took steps in total.
+    const size_t total_iters = rlview.utility_trace().size();
+    IterViewSelector iterview =
+        IterViewSelector::IterView(total_iters, /*seed=*/3);
+    AV_CHECK(iterview.Select(problem).ok());
+
+    std::printf("\n[%s] |Z| = %zu, %zu iterations\n", name,
+                problem.num_views(), total_iters);
+    PrintSeries("IterView", iterview.utility_trace(), 16);
+    PrintSeries("RLView", rlview.utility_trace(), 16);
+    std::printf(
+        "  tail stddev (last third): IterView %.3e$, RLView %.3e$\n",
+        TailStdDev(iterview.utility_trace()),
+        TailStdDev(rlview.utility_trace()));
+  }
+  std::printf(
+      "\nPaper shape: IterView keeps oscillating between local optima;\n"
+      "RLView's replay memory damps the oscillation and holds a stable\n"
+      "plateau (smaller tail stddev). WK1 fluctuates more widely than\n"
+      "WK2 because its benefits/overheads are more skewed.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Generalization ablation: split the cost dataset by *query identity*
+// (not by random sample), so every test query — and most of its literal
+// constants — is unseen at training time. This isolates the paper's
+// finding (4): the char-level String Encoding generalizes to literals
+// never seen in training, while vocabulary-style encodings cannot.
+
+#include <set>
+
+#include "bench_common.h"
+#include "costmodel/traditional.h"
+#include "costmodel/wide_deep.h"
+
+int main() {
+  using namespace autoview;
+  using namespace autoview::bench;
+
+  PrintHeader(
+      "Generalization: train/test split by query identity (unseen literals)");
+  BenchSetup setup = MakeBench("WK1");
+  const auto& dataset = setup.system->cost_dataset();
+  const auto& pairs = setup.system->cost_dataset_pairs();
+
+  // Hold out every 4th associated query entirely.
+  std::vector<CostSample> train, test;
+  for (size_t n = 0; n < dataset.size(); ++n) {
+    (pairs[n].first % 4 == 0 ? test : train).push_back(dataset[n]);
+  }
+  std::printf("split: %zu train / %zu test samples (held-out queries)\n",
+              train.size(), test.size());
+
+  TablePrinter table({"model", "held-out MAE x1e-6", "held-out MAPE %"});
+  TraditionalEstimator optimizer(&setup.workload.db->catalog(),
+                                 setup.system->pricing());
+  AV_CHECK(optimizer.Train(train).ok());
+  EstimatorMetrics opt = EvaluateEstimator(optimizer, test);
+  table.AddRow({"Optimizer", FormatDouble(opt.mae * 1e6, 2),
+                FormatDouble(100.0 * opt.mape, 2)});
+
+  for (WideDeepOptions opts :
+       {WideDeepOptions::NStr(), WideDeepOptions::Full()}) {
+    opts.epochs = 20;
+    WideDeepEstimator model(&setup.workload.db->catalog(), opts);
+    AV_CHECK(model.Train(train).ok());
+    EstimatorMetrics metrics = EvaluateEstimator(model, test);
+    table.AddRow({model.name(), FormatDouble(metrics.mae * 1e6, 2),
+                  FormatDouble(100.0 * metrics.mape, 2)});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected: the full W-D (char-level CNN over literal strings)\n"
+      "degrades less than N-Str on queries whose literal constants were\n"
+      "never seen during training — the paper's motivation for the\n"
+      "String Encoding model (finding 4).\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Reproduces Table III: MAE / MAPE of the cost-estimation methods on
+// JOB, WK1 and WK2.
+//
+// Methods (paper order): Optimizer, DeepLearn, LR, GBM, N-Exp, N-Str,
+// N-Kw, W-D. Each workload's dataset is split 7:1:2 (train/val/test);
+// metrics are reported on the test split.
+//
+// Paper reference (MAPE %): JOB 39.6 / 26.6 / 37.3 / 25.1 / 26.9 /
+// 24.4 / 23.1 / 22.8; the shape to reproduce is the ordering
+// Optimizer < learned baselines < ablations < W-D (lower = better,
+// so Optimizer worst and W-D best), with the plan encoding (N-Exp)
+// mattering most among ablations.
+
+#include <memory>
+
+#include "bench_common.h"
+#include "costmodel/baselines.h"
+#include "costmodel/gbm.h"
+#include "costmodel/traditional.h"
+#include "costmodel/wide_deep.h"
+
+namespace {
+
+using namespace autoview;
+using namespace autoview::bench;
+
+struct MethodResult {
+  std::string name;
+  EstimatorMetrics metrics;
+};
+
+std::vector<MethodResult> RunWorkload(const std::string& workload_name) {
+  BenchSetup setup = MakeBench(workload_name);
+  const auto& dataset = setup.system->cost_dataset();
+  DatasetSplit split = SplitDataset(dataset.size(), /*seed=*/13);
+  std::vector<CostSample> train, test;
+  for (size_t i : split.train) train.push_back(dataset[i]);
+  for (size_t i : split.test) test.push_back(dataset[i]);
+  std::printf("  [%s] dataset: %zu samples (%zu train / %zu test)\n",
+              workload_name.c_str(), dataset.size(), train.size(),
+              test.size());
+
+  const Catalog* catalog = &setup.workload.db->catalog();
+  const Pricing pricing = setup.system->pricing();
+
+  std::vector<std::unique_ptr<CostEstimator>> methods;
+  methods.push_back(std::make_unique<TraditionalEstimator>(catalog, pricing));
+  methods.push_back(std::make_unique<DeepLearnEstimator>(catalog, pricing));
+  methods.push_back(std::make_unique<LinearRegressorEstimator>(catalog));
+  methods.push_back(std::make_unique<GbmEstimator>(catalog));
+  for (WideDeepOptions opts :
+       {WideDeepOptions::NExp(), WideDeepOptions::NStr(),
+        WideDeepOptions::NKw(), WideDeepOptions::Full()}) {
+    opts.epochs = 20;
+    opts.batch_size = 16;
+    methods.push_back(std::make_unique<WideDeepEstimator>(catalog, opts));
+  }
+
+  std::vector<MethodResult> results;
+  for (auto& method : methods) {
+    AV_CHECK(method->Train(train).ok());
+    results.push_back({method->name(), EvaluateEstimator(*method, test)});
+    std::printf("    %-10s MAE %.3e  MAPE %.2f%%\n",
+                results.back().name.c_str(), results.back().metrics.mae,
+                100.0 * results.back().metrics.mape);
+  }
+  return results;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Table III: cost estimation (MAE / MAPE on the test split)");
+  std::vector<std::string> workloads = {"JOB", "WK1", "WK2"};
+  std::vector<std::vector<MethodResult>> all;
+  for (const auto& name : workloads) {
+    all.push_back(RunWorkload(name));
+  }
+
+  TablePrinter table({"Metric", "Optimizer", "DeepLearn", "LR", "GBM",
+                      "N-Exp", "N-Str", "N-Kw", "W-D"});
+  for (size_t w = 0; w < workloads.size(); ++w) {
+    std::vector<std::string> mae_row = {
+        StrFormat("MAE x1e-6 (%s)", workloads[w].c_str())};
+    std::vector<std::string> mape_row = {
+        StrFormat("MAPE%% (%s)", workloads[w].c_str())};
+    for (const auto& result : all[w]) {
+      mae_row.push_back(FormatDouble(result.metrics.mae * 1e6, 2));
+      mape_row.push_back(FormatDouble(100.0 * result.metrics.mape, 2));
+    }
+    table.AddRow(std::move(mae_row));
+    table.AddRow(std::move(mape_row));
+  }
+  table.Print();
+  std::printf(
+      "\nPaper shape: Optimizer worst (error accumulates across the three\n"
+      "independent estimates), learned numeric baselines (LR/GBM) in the\n"
+      "middle, plan-aware neural models best, with full W-D ahead of its\n"
+      "N-Exp / N-Str / N-Kw ablations and N-Exp the weakest ablation.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Plan-machinery walkthrough: Fig. 2 plan rendering, the Fig. 4 feature
+// token sequences, EQUITAS-style equivalence detection, and the
+// overlapping-subquery relation (Definition 5).
+//
+//   ./example_rewrite_demo
+
+#include <cstdio>
+
+#include "catalog/catalog.h"
+#include "plan/builder.h"
+#include "plan/canonical.h"
+#include "util/logging.h"
+#include "subquery/clusterer.h"
+#include "util/strings.h"
+
+using namespace autoview;
+
+int main() {
+  Catalog catalog;
+  AV_CHECK(catalog
+               .AddTable(TableSchema("user_memo",
+                                     {{"user_id", ColumnType::kInt64},
+                                      {"memo", ColumnType::kString},
+                                      {"dt", ColumnType::kString},
+                                      {"memo_type", ColumnType::kString}}))
+               .ok());
+  AV_CHECK(catalog
+               .AddTable(TableSchema("user_action",
+                                     {{"user_id", ColumnType::kInt64},
+                                      {"action", ColumnType::kString},
+                                      {"type", ColumnType::kInt64},
+                                      {"dt", ColumnType::kString}}))
+               .ok());
+  PlanBuilder builder(&catalog);
+
+  const std::string sql =
+      "select t1.user_id, count(*) as cnt from ("
+      "select user_id, memo from user_memo "
+      "where dt = '1010' and memo_type = 'pen') t1 "
+      "inner join (select user_id, action from user_action "
+      "where type = 1 and dt = '1010') t2 "
+      "on t1.user_id = t2.user_id group by t1.user_id";
+  auto q = builder.BuildFromSql(sql).value();
+
+  std::printf("=== Fig. 2: logical plan ===\n%s\n", q->ToString().c_str());
+
+  std::printf("=== Fig. 4: feature token sequences (pre-order) ===\n");
+  const char labels[] = "ABCDEFGH";
+  auto seq = q->FeatureSequence();
+  for (size_t i = 0; i < seq.size(); ++i) {
+    std::printf("%c. [%s]\n", labels[i % 8], Join(seq[i], ", ").c_str());
+  }
+
+  std::printf("\n=== Equivalence detection (EQUITAS substitution) ===\n");
+  auto reordered = builder
+                       .BuildFromSql(
+                           "select * from user_memo where memo_type = 'pen' "
+                           "and dt = '1010'")
+                       .value();
+  auto original = builder
+                      .BuildFromSql(
+                          "select * from user_memo where dt = '1010' and "
+                          "memo_type = 'pen'")
+                      .value();
+  std::printf("conjunct order flipped  -> equivalent: %s\n",
+              PlansEquivalent(*original, *reordered) ? "yes" : "no");
+  std::printf("canonical key: %s\n", CanonicalKey(*original).c_str());
+  auto different = builder
+                       .BuildFromSql(
+                           "select * from user_memo where dt = '1011' and "
+                           "memo_type = 'pen'")
+                       .value();
+  std::printf("different literal       -> equivalent: %s\n",
+              PlansEquivalent(*original, *different) ? "yes" : "no");
+
+  std::printf("\n=== Overlap (Definition 5) ===\n");
+  auto s3 = q->child(0);       // the join subquery
+  auto s1 = s3->child(0);      // left Project subtree
+  auto s2 = s3->child(1);      // right Project subtree
+  std::printf("s3 vs s1: %s (s1 is a subtree of s3)\n",
+              CanonicalPlansOverlap(*s3, *s1) ? "overlap" : "disjoint");
+  std::printf("s1 vs s2: %s (different base tables)\n",
+              CanonicalPlansOverlap(*s1, *s2) ? "overlap" : "disjoint");
+  return 0;
+}

@@ -1,0 +1,42 @@
+#include "catalog/catalog.h"
+
+namespace autoview {
+
+Status Catalog::AddTable(TableSchema schema) {
+  const std::string name = schema.name();
+  if (tables_.count(name)) {
+    return Status::AlreadyExists("table already registered: " + name);
+  }
+  tables_.emplace(name, std::move(schema));
+  return Status::OK();
+}
+
+Status Catalog::SetStats(const std::string& table, TableStats stats) {
+  if (!tables_.count(table)) {
+    return Status::NotFound("no such table: " + table);
+  }
+  stats_[table] = std::move(stats);
+  return Status::OK();
+}
+
+Result<const TableSchema*> Catalog::GetTable(const std::string& table) const {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) {
+    return Status::NotFound("no such table: " + table);
+  }
+  return &it->second;
+}
+
+const TableStats& Catalog::GetStats(const std::string& table) const {
+  auto it = stats_.find(table);
+  return it == stats_.end() ? empty_stats_ : it->second;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace autoview

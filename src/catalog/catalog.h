@@ -1,0 +1,47 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "util/status.h"
+
+namespace autoview {
+
+/// \brief The metadata database of Fig. 3: table schemas and statistics.
+///
+/// The catalog is consulted by the parser/planner (name resolution), the
+/// traditional cost estimator (statistics), and the cost-model feature
+/// extractor (schema keywords + numerical features).
+class Catalog {
+ public:
+  /// Registers a table. Fails with AlreadyExists on duplicate names.
+  Status AddTable(TableSchema schema);
+
+  /// Replaces (or installs) the statistics for `table`.
+  Status SetStats(const std::string& table, TableStats stats);
+
+  /// Looks up a schema by table name.
+  Result<const TableSchema*> GetTable(const std::string& table) const;
+
+  /// Looks up statistics; returns zeroed defaults if never set.
+  const TableStats& GetStats(const std::string& table) const;
+
+  bool HasTable(const std::string& table) const {
+    return tables_.count(table) > 0;
+  }
+
+  size_t num_tables() const { return tables_.size(); }
+
+  /// Sorted list of table names.
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::map<std::string, TableSchema> tables_;
+  std::map<std::string, TableStats> stats_;
+  TableStats empty_stats_;
+};
+
+}  // namespace autoview

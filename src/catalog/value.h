@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "catalog/schema.h"
+
+namespace autoview {
+
+/// \brief A dynamically-typed scalar cell value.
+///
+/// Used for expression literals, row materialization and aggregation
+/// state. Cheap int64/double paths; strings are owned.
+class Value {
+ public:
+  Value() : v_(int64_t{0}) {}
+  Value(int64_t v) : v_(v) {}
+  Value(double v) : v_(v) {}
+  Value(std::string v) : v_(std::move(v)) {}
+  Value(const char* v) : v_(std::string(v)) {}
+
+  ColumnType type() const {
+    switch (v_.index()) {
+      case 0:
+        return ColumnType::kInt64;
+      case 1:
+        return ColumnType::kDouble;
+      default:
+        return ColumnType::kString;
+    }
+  }
+
+  bool is_int() const { return v_.index() == 0; }
+  bool is_double() const { return v_.index() == 1; }
+  bool is_string() const { return v_.index() == 2; }
+
+  int64_t AsInt() const { return std::get<int64_t>(v_); }
+  double AsDouble() const {
+    return is_int() ? static_cast<double>(std::get<int64_t>(v_))
+                    : std::get<double>(v_);
+  }
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+
+  /// Numeric coercion: ints and doubles compare by value; strings
+  /// lexicographically. Cross string/number comparison orders strings last.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// SQL-literal rendering ('abc' for strings).
+  std::string ToString() const;
+
+  /// Stable 64-bit hash consistent with operator== (int 3 and double 3.0
+  /// hash identically).
+  uint64_t Hash() const;
+
+  /// Approximate in-memory byte size (for view space overhead).
+  size_t ByteSize() const;
+
+ private:
+  std::variant<int64_t, double, std::string> v_;
+};
+
+}  // namespace autoview

@@ -1,0 +1,144 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/metadata.h"
+#include "costmodel/estimator.h"
+#include "engine/executor.h"
+#include "engine/rewriter.h"
+#include "engine/view_store.h"
+#include "ilp/problem.h"
+#include "subquery/clusterer.h"
+#include "util/status.h"
+
+namespace autoview {
+
+/// \brief Configuration of the end-to-end system (Fig. 3).
+struct AutoViewOptions {
+  Pricing pricing;
+  SubqueryClusterer::Options cluster;
+  /// true: compute exact benefits by executing every applicable
+  /// rewritten (query, view) pair (the paper's JOB protocol). false:
+  /// the RealOpt approximation — A(q|v) ~= A(q) - A(s) — used for the
+  /// large WK workloads.
+  bool exact_benefits = true;
+  uint64_t seed = 42;
+};
+
+/// \brief Per-candidate ground-truth metadata gathered by the system.
+struct CandidateInfo {
+  size_t cluster_index = 0;  ///< into WorkloadAnalysis::clusters
+  PlanNodePtr plan;
+  CostReport build_cost;     ///< actual A(s) report
+  uint64_t bytes = 0;        ///< u_sto of the materialized result
+  double overhead = 0.0;     ///< O_v = alpha*bytes + A(s) in $
+  double scan_cost = 0.0;    ///< actual A(scan v) in $
+};
+
+/// \brief Table V row: actual end-to-end outcome of one solution.
+struct EndToEndReport {
+  size_t num_queries = 0;        ///< #q: workload size
+  double raw_cost = 0.0;         ///< c_q: total cost of raw queries ($)
+  double raw_latency_min = 0.0;  ///< l_q: total CPU-minutes, raw
+  size_t num_views = 0;          ///< #m: materialized views
+  double view_overhead = 0.0;    ///< o_m: total overhead ($)
+  size_t num_rewritten = 0;      ///< #(q|v): queries using >= 1 view
+  double benefit = 0.0;          ///< b_(q|v): total actual benefit ($)
+  double rewritten_latency_min = 0.0;  ///< l_q of the rewritten workload
+  /// r_c = (benefit - overhead) / raw cost, the headline metric.
+  double ratio() const {
+    return raw_cost > 0 ? (benefit - view_overhead) / raw_cost : 0.0;
+  }
+};
+
+/// \brief The end-to-end automatic view generation system of Fig. 3:
+/// pre-process -> cost/utility estimation -> view selection -> rewrite
+/// -> execute.
+///
+/// Typical flow:
+///   AutoViewSystem system(&db, options);
+///   system.LoadWorkload(sql);            // parse + extract + cluster
+///   system.BuildGroundTruth();           // execute, measure, benefits
+///   auto problem = system.problem();     // hand to a ViewSelector
+///   auto report = system.ExecuteSolution(solution);
+class AutoViewSystem {
+ public:
+  /// `db` must outlive the system; views are installed into it while
+  /// measuring and during ExecuteSolution.
+  AutoViewSystem(Database* db, AutoViewOptions options);
+
+  /// Parses the workload and runs the pre-process stage (subquery
+  /// extraction, equivalence clustering, candidate + overlap discovery).
+  Status LoadWorkload(const std::vector<std::string>& sql);
+
+  const std::vector<PlanNodePtr>& queries() const { return queries_; }
+  const WorkloadAnalysis& analysis() const { return analysis_; }
+
+  /// Executes all queries and candidate subqueries, materializes each
+  /// candidate to measure its size, and fills the ground-truth
+  /// MvsProblem (benefits use the mode from options.exact_benefits).
+  Status BuildGroundTruth();
+
+  /// The ground-truth selection instance. Rows index
+  /// analysis().associated_queries.
+  const MvsProblem& problem() const { return problem_; }
+  const std::vector<CandidateInfo>& candidates() const { return candidates_; }
+  /// Actual cost A(q) of every workload query ($), indexed like
+  /// queries().
+  const std::vector<double>& query_costs() const { return query_costs_; }
+
+  /// The cost-model training/evaluation dataset: one CostSample per
+  /// applicable (associated query, candidate) pair with actual targets.
+  const std::vector<CostSample>& cost_dataset() const { return dataset_; }
+
+  /// Parallel to cost_dataset(): the (associated-query row, candidate
+  /// index) pair of each sample.
+  const std::vector<std::pair<size_t, size_t>>& cost_dataset_pairs() const {
+    return dataset_pairs_;
+  }
+
+  /// Builds an MvsProblem whose benefits come from `estimator` instead
+  /// of ground truth — the online-recommendation path of Fig. 3 that
+  /// Table V evaluates end to end.
+  Result<MvsProblem> EstimateProblem(const CostEstimator& estimator) const;
+
+  /// Materializes the solution's views, rewrites every associated query
+  /// with its assigned views, executes the full rewritten workload, and
+  /// reports actual costs. Views are dropped afterwards.
+  Result<EndToEndReport> ExecuteSolution(const MvsSolution& solution);
+
+  /// Persists the cost dataset to the metadata database of Fig. 3
+  /// (query SQL + view canonical key + actual costs), so offline
+  /// training can run in a separate process/session.
+  Status ExportMetadata(const MetadataStore& store) const;
+
+  /// Rebuilds CostSamples from a metadata store against this system's
+  /// loaded workload: queries are re-parsed from their SQL and views
+  /// matched among the query's subqueries by canonical key. Records
+  /// that no longer match the workload are skipped.
+  Result<std::vector<CostSample>> ImportCostSamples(
+      const MetadataStore& store) const;
+
+  const Pricing& pricing() const { return options_.pricing; }
+
+ private:
+  Status EnsureGroundTruth() const;
+
+  Database* db_;
+  AutoViewOptions options_;
+  Executor executor_;
+  std::vector<std::string> sql_;
+  std::vector<PlanNodePtr> queries_;
+  WorkloadAnalysis analysis_;
+  std::vector<CandidateInfo> candidates_;
+  std::vector<double> query_costs_;
+  std::vector<CostReport> query_reports_;
+  MvsProblem problem_;
+  std::vector<CostSample> dataset_;
+  std::vector<std::pair<size_t, size_t>> dataset_pairs_;
+  bool ground_truth_ready_ = false;
+};
+
+}  // namespace autoview

@@ -1,0 +1,79 @@
+#include "core/metadata.h"
+
+#include <cstdio>
+#include <memory>
+
+#include "util/strings.h"
+
+namespace autoview {
+
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+constexpr char kSep = '\t';
+
+}  // namespace
+
+Status MetadataStore::WriteInternal(const std::vector<MetadataRecord>& records,
+                                    const char* mode) const {
+  FilePtr f(std::fopen(path_.c_str(), mode));
+  if (!f) return Status::Internal("cannot open metadata store: " + path_);
+  for (const auto& r : records) {
+    for (const std::string* field : {&r.query_sql, &r.view_sql, &r.tables}) {
+      if (field->find(kSep) != std::string::npos ||
+          field->find('\n') != std::string::npos) {
+        return Status::InvalidArgument(
+            "metadata field contains tab/newline: " + *field);
+      }
+    }
+    std::fprintf(f.get(), "%s\t%s\t%s\t%.17g\t%.17g\t%.17g\n",
+                 r.query_sql.c_str(), r.view_sql.c_str(), r.tables.c_str(),
+                 r.rewritten_cost, r.query_cost, r.subquery_cost);
+  }
+  return Status::OK();
+}
+
+Status MetadataStore::Append(const std::vector<MetadataRecord>& records) const {
+  return WriteInternal(records, "ab");
+}
+
+Status MetadataStore::Write(const std::vector<MetadataRecord>& records) const {
+  return WriteInternal(records, "wb");
+}
+
+Result<std::vector<MetadataRecord>> MetadataStore::Load() const {
+  FilePtr f(std::fopen(path_.c_str(), "rb"));
+  if (!f) return Status::NotFound("no metadata store at: " + path_);
+  std::vector<MetadataRecord> records;
+  std::string line;
+  int c;
+  while ((c = std::fgetc(f.get())) != EOF) {
+    if (c != '\n') {
+      line.push_back(static_cast<char>(c));
+      continue;
+    }
+    if (line.empty()) continue;
+    std::vector<std::string> fields = Split(line, kSep);
+    line.clear();
+    if (fields.size() != 6) {
+      return Status::ParseError("malformed metadata record");
+    }
+    MetadataRecord r;
+    r.query_sql = fields[0];
+    r.view_sql = fields[1];
+    r.tables = fields[2];
+    r.rewritten_cost = std::atof(fields[3].c_str());
+    r.query_cost = std::atof(fields[4].c_str());
+    r.subquery_cost = std::atof(fields[5].c_str());
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+}  // namespace autoview

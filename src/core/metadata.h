@@ -1,0 +1,47 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace autoview {
+
+/// \brief One record of the metadata database (Fig. 3): the offline
+/// training data for the cost model, keyed by SQL text so plans can be
+/// re-built against the live catalog on load.
+struct MetadataRecord {
+  std::string query_sql;
+  std::string view_sql;          ///< the candidate subquery, as SQL
+  std::string tables;            ///< comma-joined associated table names
+  double rewritten_cost = 0.0;   ///< A(q|v) — the training target
+  double query_cost = 0.0;       ///< A(q)
+  double subquery_cost = 0.0;    ///< A(s)
+};
+
+/// \brief File-backed metadata store standing in for the paper's
+/// metadata database. Records are stored as a tab-separated text file
+/// (SQL contains no tabs/newlines in this fragment).
+class MetadataStore {
+ public:
+  explicit MetadataStore(std::string path) : path_(std::move(path)) {}
+
+  /// Appends records to the store file (creating it if needed).
+  Status Append(const std::vector<MetadataRecord>& records) const;
+
+  /// Replaces the store file with `records`.
+  Status Write(const std::vector<MetadataRecord>& records) const;
+
+  /// Loads every record.
+  Result<std::vector<MetadataRecord>> Load() const;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  Status WriteInternal(const std::vector<MetadataRecord>& records,
+                       const char* mode) const;
+
+  std::string path_;
+};
+
+}  // namespace autoview

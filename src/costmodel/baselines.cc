@@ -1,0 +1,222 @@
+#include "costmodel/baselines.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace autoview {
+
+using nn::Tensor;
+
+namespace {
+
+/// Offset guarding log() against zero-cost targets.
+constexpr double kLogEps = 1e-12;
+
+/// Solves (A + l2*I) x = b by Gaussian elimination with partial
+/// pivoting. A is symmetric positive semi-definite (X^T X).
+std::vector<double> SolveRidge(std::vector<std::vector<double>> a,
+                               std::vector<double> b, double l2) {
+  const size_t n = b.size();
+  for (size_t i = 0; i < n; ++i) a[i][i] += l2;
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    for (size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a[r][col]) > std::fabs(a[pivot][col])) pivot = r;
+    }
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    const double diag = a[col][col];
+    if (std::fabs(diag) < 1e-12) continue;
+    for (size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const double factor = a[r][col] / diag;
+      if (factor == 0.0) continue;
+      for (size_t c = col; c < n; ++c) a[r][c] -= factor * a[col][c];
+      b[r] -= factor * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = std::fabs(a[i][i]) < 1e-12 ? 0.0 : b[i] / a[i][i];
+  }
+  return x;
+}
+
+}  // namespace
+
+Status LinearRegressorEstimator::Train(const std::vector<CostSample>& samples) {
+  if (samples.empty()) return Status::InvalidArgument("empty training set");
+  std::vector<std::vector<double>> rows;
+  rows.reserve(samples.size());
+  for (const auto& sample : samples) {
+    rows.push_back(extractor_.Extract(sample).numeric);
+  }
+  normalizer_.Fit(rows);
+  const size_t dim = rows[0].size() + 1;  // + intercept
+  std::vector<std::vector<double>> xtx(dim, std::vector<double>(dim, 0.0));
+  std::vector<double> xty(dim, 0.0);
+  for (size_t i = 0; i < samples.size(); ++i) {
+    std::vector<double> x = normalizer_.Apply(rows[i]);
+    x.push_back(1.0);
+    for (size_t r = 0; r < dim; ++r) {
+      xty[r] += x[r] * samples[i].target;
+      for (size_t c = 0; c < dim; ++c) xtx[r][c] += x[r] * x[c];
+    }
+  }
+  weights_ = SolveRidge(std::move(xtx), std::move(xty), l2_);
+  return Status::OK();
+}
+
+double LinearRegressorEstimator::Estimate(const CostSample& sample) const {
+  if (weights_.empty()) return 0.0;
+  std::vector<double> x =
+      normalizer_.Apply(extractor_.Extract(sample).numeric);
+  x.push_back(1.0);
+  double y = 0.0;
+  for (size_t j = 0; j < x.size() && j < weights_.size(); ++j) {
+    y += x[j] * weights_[j];
+  }
+  return std::max(0.0, y);  // costs are non-negative
+}
+
+/// Plan encoder + numeric MLP regressor for single-plan costs.
+struct DeepLearnEstimator::Network {
+  Network(size_t vocab_size, size_t numeric_dim, const KeywordVocab* vocab,
+          const Options& opts, Rng* rng)
+      : keyword_embedding(vocab_size, opts.embed_dim, rng),
+        string_encoder(opts.embed_dim, rng),
+        plan_encoder(&keyword_embedding, &string_encoder, vocab,
+                     opts.plan_hidden, rng),
+        head({numeric_dim + opts.plan_hidden, opts.mlp_hidden, 1}, rng) {}
+
+  std::vector<Tensor> Parameters() const {
+    std::vector<Tensor> params = keyword_embedding.Parameters();
+    auto append = [&params](const std::vector<Tensor>& more) {
+      params.insert(params.end(), more.begin(), more.end());
+    };
+    append(string_encoder.Parameters());
+    append(plan_encoder.Parameters());
+    append(head.Parameters());
+    return params;
+  }
+
+  nn::Embedding keyword_embedding;
+  StringEncoder string_encoder;
+  PlanEncoder plan_encoder;
+  nn::Mlp head;
+};
+
+DeepLearnEstimator::DeepLearnEstimator(const Catalog* catalog, Pricing pricing,
+                                       Options options)
+    : catalog_(catalog),
+      options_(options),
+      extractor_(catalog),
+      traditional_(catalog, pricing) {}
+
+DeepLearnEstimator::~DeepLearnEstimator() = default;
+
+Tensor DeepLearnEstimator::Forward(const Features& features) const {
+  std::vector<double> norm = normalizer_.Apply(features.numeric);
+  Tensor dc =
+      Tensor::FromData(std::vector<nn::Scalar>(norm.begin(), norm.end()), 1,
+                       norm.size());
+  Tensor de = net_->plan_encoder.Forward(features.query_plan);
+  return net_->head.Forward(nn::ConcatCols({dc, de}));
+}
+
+Status DeepLearnEstimator::Train(const std::vector<CostSample>& samples) {
+  if (samples.empty()) return Status::InvalidArgument("empty training set");
+
+  // Harvest single-plan training pairs (plan, actual cost) from the
+  // metadata: each CostSample yields (q, A(q)) and (s, A(s)).
+  struct PlanSample {
+    Features features;
+    double target;
+  };
+  std::vector<PlanSample> plan_samples;
+  for (const auto& sample : samples) {
+    CostSample q_only = sample;
+    q_only.view = sample.query;  // view field unused by this model
+    Features fq = extractor_.Extract(q_only);
+    plan_samples.push_back({fq, sample.query_cost});
+    CostSample s_only = sample;
+    s_only.query = sample.view;
+    s_only.view = sample.view;
+    Features fs = extractor_.Extract(s_only);
+    plan_samples.push_back({fs, sample.subquery_cost});
+  }
+
+  std::vector<std::vector<double>> numeric_rows;
+  for (const auto& ps : plan_samples) {
+    numeric_rows.push_back(ps.features.numeric);
+    vocab_.AddAll(ps.features);
+  }
+  normalizer_.Fit(numeric_rows);
+
+  // Log-space targets, as in the learned estimator this baseline
+  // follows [36] (costs span orders of magnitude).
+  auto to_log = [](double v) { return std::log(v + kLogEps); };
+  double mean = 0.0;
+  for (const auto& ps : plan_samples) mean += to_log(ps.target);
+  mean /= static_cast<double>(plan_samples.size());
+  double var = 0.0;
+  for (const auto& ps : plan_samples) {
+    var += (to_log(ps.target) - mean) * (to_log(ps.target) - mean);
+  }
+  var /= static_cast<double>(plan_samples.size());
+  target_mean_ = mean;
+  target_std_ = var > 1e-20 ? std::sqrt(var) : 1.0;
+
+  Rng rng(options_.seed);
+  net_ = std::make_unique<Network>(vocab_.size(),
+                                   FeatureExtractor::NumNumericFeatures(),
+                                   &vocab_, options_, &rng);
+  nn::Adam::Options adam_opts;
+  adam_opts.lr = options_.learning_rate;
+  nn::Adam adam(net_->Parameters(), adam_opts);
+
+  std::vector<size_t> order(plan_samples.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t start = 0; start < order.size();
+         start += options_.batch_size) {
+      const size_t end = std::min(order.size(), start + options_.batch_size);
+      adam.ZeroGrad();
+      std::vector<Tensor> preds, targets;
+      for (size_t i = start; i < end; ++i) {
+        const auto& ps = plan_samples[order[i]];
+        preds.push_back(Forward(ps.features));
+        targets.push_back(Tensor::Full(
+            1, 1, (std::log(ps.target + kLogEps) - target_mean_) /
+                      target_std_));
+      }
+      nn::MseLoss(nn::ConcatRows(preds), nn::ConcatRows(targets)).Backward();
+      adam.Step();
+    }
+  }
+  return Status::OK();
+}
+
+double DeepLearnEstimator::PredictPlanCost(
+    const PlanNode& plan, const std::vector<std::string>& tables) const {
+  CostSample sample;
+  sample.query = PlanNodePtr(PlanNodePtr(), &plan);  // non-owning alias
+  sample.view = sample.query;
+  sample.tables = tables;
+  Features features = extractor_.Extract(sample);
+  Tensor pred = Forward(features);
+  return std::max(
+      0.0, std::exp(pred.item() * target_std_ + target_mean_) - kLogEps);
+}
+
+double DeepLearnEstimator::Estimate(const CostSample& sample) const {
+  if (!net_) return 0.0;
+  const double q = PredictPlanCost(*sample.query, sample.tables);
+  const double s = PredictPlanCost(*sample.view, sample.tables);
+  const double v = traditional_.EstimateViewScanCost(*sample.view);
+  return std::max(0.0, q - s + v);
+}
+
+}  // namespace autoview

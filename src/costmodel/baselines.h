@@ -1,0 +1,79 @@
+#pragma once
+
+#include <memory>
+
+#include "costmodel/encoders.h"
+#include "costmodel/estimator.h"
+#include "costmodel/traditional.h"
+#include "nn/optimizer.h"
+
+namespace autoview {
+
+/// \brief The `LR` baseline of Table III: a linear model over the
+/// numeric features, fit in closed form (ridge regression).
+class LinearRegressorEstimator : public CostEstimator {
+ public:
+  explicit LinearRegressorEstimator(const Catalog* catalog,
+                                    double l2 = 1e-6)
+      : extractor_(catalog), l2_(l2) {}
+
+  Status Train(const std::vector<CostSample>& samples) override;
+  double Estimate(const CostSample& sample) const override;
+  std::string name() const override { return "LR"; }
+
+ private:
+  FeatureExtractor extractor_;
+  Normalizer normalizer_;
+  double l2_;
+  std::vector<double> weights_;  // last entry = intercept
+};
+
+/// \brief The `DeepLearn` baseline: a learned *single-plan* cost model
+/// in the spirit of [36] (plan-sequence LSTM + numeric features -> MLP),
+/// combined as A(q|v) = f(q) - f(s) + Est(scan v), where the view-scan
+/// term uses the statistics-based estimate (scanning is cheap and
+/// stats-friendly). The error accumulation across the three terms is
+/// what Table III penalizes this baseline for.
+class DeepLearnEstimator : public CostEstimator {
+ public:
+  struct Options {
+    size_t embed_dim = 16;
+    size_t plan_hidden = 32;
+    size_t mlp_hidden = 32;
+    size_t epochs = 30;
+    size_t batch_size = 16;
+    double learning_rate = 5e-3;
+    uint64_t seed = 17;
+  };
+
+  DeepLearnEstimator(const Catalog* catalog, Pricing pricing)
+      : DeepLearnEstimator(catalog, pricing, Options{}) {}
+  DeepLearnEstimator(const Catalog* catalog, Pricing pricing,
+                     Options options);
+  ~DeepLearnEstimator() override;
+
+  Status Train(const std::vector<CostSample>& samples) override;
+  double Estimate(const CostSample& sample) const override;
+  std::string name() const override { return "DeepLearn"; }
+
+ private:
+  struct Network;
+
+  /// Predicted single-plan cost in $.
+  double PredictPlanCost(const PlanNode& plan,
+                         const std::vector<std::string>& tables) const;
+
+  nn::Tensor Forward(const Features& features) const;
+
+  const Catalog* catalog_;
+  Options options_;
+  FeatureExtractor extractor_;
+  TraditionalEstimator traditional_;
+  KeywordVocab vocab_;
+  Normalizer normalizer_;
+  double target_mean_ = 0.0;
+  double target_std_ = 1.0;
+  std::unique_ptr<Network> net_;
+};
+
+}  // namespace autoview

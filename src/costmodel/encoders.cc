@@ -1,0 +1,100 @@
+#include "costmodel/encoders.h"
+
+namespace autoview {
+
+using nn::Tensor;
+
+StringEncoder::StringEncoder(size_t dim, Rng* rng, bool use_cnn,
+                             bool trainable_chars)
+    : dim_(dim),
+      use_cnn_(use_cnn),
+      char_embedding_(128, dim, rng, trainable_chars),
+      conv1_(rng),
+      conv2_(rng) {}
+
+Tensor StringEncoder::Forward(const std::string& text) const {
+  if (text.empty()) return Tensor::Zeros(1, dim_);
+  std::vector<size_t> ids;
+  ids.reserve(text.size());
+  for (char c : text) {
+    ids.push_back(static_cast<size_t>(static_cast<unsigned char>(c)) % 128);
+  }
+  Tensor chars = char_embedding_.Forward(ids);  // len x dim
+  if (use_cnn_) {
+    chars = conv2_.Forward(conv1_.Forward(chars));
+  }
+  return MeanRows(chars);
+}
+
+std::vector<Tensor> StringEncoder::Parameters() const {
+  std::vector<Tensor> params = char_embedding_.Parameters();
+  if (use_cnn_) {
+    for (const auto& p : conv1_.Parameters()) params.push_back(p);
+    for (const auto& p : conv2_.Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+PlanEncoder::PlanEncoder(const nn::Embedding* keyword_embedding,
+                         const StringEncoder* string_encoder,
+                         const KeywordVocab* vocab, size_t hidden, Rng* rng,
+                         bool use_sequence)
+    : keyword_embedding_(keyword_embedding),
+      string_encoder_(string_encoder),
+      vocab_(vocab),
+      use_sequence_(use_sequence),
+      lstm1_(keyword_embedding->dim(), keyword_embedding->dim(), rng),
+      lstm2_(keyword_embedding->dim(), hidden, rng) {}
+
+size_t PlanEncoder::output_dim() const {
+  return use_sequence_ ? lstm2_.hidden_size() : keyword_embedding_->dim();
+}
+
+Tensor PlanEncoder::EncodeToken(const std::string& token) const {
+  if (KeywordVocab::IsStringLiteral(token)) {
+    // Strip quotes before char encoding.
+    return string_encoder_->Forward(token.substr(1, token.size() - 2));
+  }
+  return keyword_embedding_->Forward({vocab_->Lookup(token)});
+}
+
+Tensor PlanEncoder::Forward(
+    const std::vector<std::vector<std::string>>& plan_tokens) const {
+  std::vector<Tensor> op_vectors;
+  op_vectors.reserve(plan_tokens.size());
+  for (const auto& op_tokens : plan_tokens) {
+    std::vector<Tensor> token_vectors;
+    token_vectors.reserve(op_tokens.size());
+    for (const auto& token : op_tokens) {
+      token_vectors.push_back(EncodeToken(token));
+    }
+    if (token_vectors.empty()) {
+      token_vectors.push_back(Tensor::Zeros(1, keyword_embedding_->dim()));
+    }
+    Tensor stacked = ConcatRows(token_vectors);  // n_tokens x dim
+    op_vectors.push_back(use_sequence_ ? lstm1_.Forward(stacked)
+                                       : MeanRows(stacked));
+  }
+  if (op_vectors.empty()) return Tensor::Zeros(1, output_dim());
+  Tensor ops = ConcatRows(op_vectors);  // n_ops x dim
+  return use_sequence_ ? lstm2_.Forward(ops) : MeanRows(ops);
+}
+
+std::vector<Tensor> PlanEncoder::Parameters() const {
+  if (!use_sequence_) return {};
+  std::vector<Tensor> params = lstm1_.Parameters();
+  for (const auto& p : lstm2_.Parameters()) params.push_back(p);
+  return params;
+}
+
+Tensor SchemaEncoder::Forward(const std::vector<std::string>& keywords) const {
+  if (keywords.empty()) {
+    return Tensor::Zeros(1, keyword_embedding_->dim());
+  }
+  std::vector<size_t> ids;
+  ids.reserve(keywords.size());
+  for (const auto& kw : keywords) ids.push_back(vocab_->Lookup(kw));
+  return MeanRows(keyword_embedding_->Forward(ids));
+}
+
+}  // namespace autoview

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "costmodel/features.h"
+#include "nn/modules.h"
+
+namespace autoview {
+
+/// \brief String Encoding model (Fig. 6): char embedding -> two Conv
+/// blocks (Conv 3x1 -> BatchNorm -> ReLU) -> average pooling.
+///
+/// In the N-Str ablation the char embedding is frozen and the CNN is
+/// skipped (plain average pooling of char vectors).
+class StringEncoder : public nn::Module {
+ public:
+  StringEncoder(size_t dim, Rng* rng, bool use_cnn = true,
+                bool trainable_chars = true);
+
+  /// Encodes one string into a 1 x dim vector.
+  nn::Tensor Forward(const std::string& text) const;
+
+  std::vector<nn::Tensor> Parameters() const override;
+
+  size_t dim() const { return dim_; }
+
+ private:
+  size_t dim_;
+  bool use_cnn_;
+  nn::Embedding char_embedding_;  // 128 one-byte chars
+  nn::ConvBlock conv1_;
+  nn::ConvBlock conv2_;
+};
+
+/// \brief Query/View Plan encoding (Fig. 7a): tokens -> keyword
+/// embedding or string encoding -> LSTM1 per operator -> LSTM2 over the
+/// operator sequence.
+///
+/// In the N-Exp ablation both LSTMs are replaced by average pooling.
+class PlanEncoder : public nn::Module {
+ public:
+  /// `keyword_embedding` and `string_encoder` are shared with the rest
+  /// of the model (the paper shares the keyword matrix).
+  PlanEncoder(const nn::Embedding* keyword_embedding,
+              const StringEncoder* string_encoder, const KeywordVocab* vocab,
+              size_t hidden, Rng* rng, bool use_sequence = true);
+
+  /// Encodes one plan token sequence into 1 x output_dim().
+  nn::Tensor Forward(
+      const std::vector<std::vector<std::string>>& plan_tokens) const;
+
+  size_t output_dim() const;
+
+  std::vector<nn::Tensor> Parameters() const override;
+
+ private:
+  nn::Tensor EncodeToken(const std::string& token) const;
+
+  const nn::Embedding* keyword_embedding_;
+  const StringEncoder* string_encoder_;
+  const KeywordVocab* vocab_;
+  bool use_sequence_;
+  nn::Lstm lstm1_;
+  nn::Lstm lstm2_;
+};
+
+/// \brief Table-schema encoding (Fig. 7b): keyword embeddings averaged.
+class SchemaEncoder : public nn::Module {
+ public:
+  SchemaEncoder(const nn::Embedding* keyword_embedding,
+                const KeywordVocab* vocab)
+      : keyword_embedding_(keyword_embedding), vocab_(vocab) {}
+
+  /// Encodes the keyword set into 1 x dim.
+  nn::Tensor Forward(const std::vector<std::string>& keywords) const;
+
+  std::vector<nn::Tensor> Parameters() const override { return {}; }
+
+ private:
+  const nn::Embedding* keyword_embedding_;
+  const KeywordVocab* vocab_;
+};
+
+}  // namespace autoview

@@ -1,0 +1,22 @@
+#include "costmodel/estimator.h"
+
+#include "util/metrics.h"
+
+namespace autoview {
+
+EstimatorMetrics EvaluateEstimator(const CostEstimator& estimator,
+                                   const std::vector<CostSample>& samples) {
+  std::vector<double> y, yhat;
+  y.reserve(samples.size());
+  yhat.reserve(samples.size());
+  for (const auto& sample : samples) {
+    y.push_back(sample.target);
+    yhat.push_back(estimator.Estimate(sample));
+  }
+  EstimatorMetrics metrics;
+  metrics.mae = MeanAbsoluteError(y, yhat);
+  metrics.mape = MeanAbsolutePercentError(y, yhat);
+  return metrics;
+}
+
+}  // namespace autoview

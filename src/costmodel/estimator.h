@@ -1,0 +1,36 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "costmodel/features.h"
+#include "util/status.h"
+
+namespace autoview {
+
+/// \brief Common interface of all cost-estimation models compared in
+/// Table III: given (query, view, tables), predict A(q|v).
+class CostEstimator {
+ public:
+  virtual ~CostEstimator() = default;
+
+  /// Fits the model on training samples (targets populated).
+  virtual Status Train(const std::vector<CostSample>& samples) = 0;
+
+  /// Predicts the cost of the rewritten query, in the same $ unit as
+  /// CostSample::target.
+  virtual double Estimate(const CostSample& sample) const = 0;
+
+  /// Display name used in benchmark tables ("W-D", "LR", ...).
+  virtual std::string name() const = 0;
+};
+
+/// \brief MAE / MAPE evaluation of an estimator over a sample set.
+struct EstimatorMetrics {
+  double mae = 0.0;
+  double mape = 0.0;
+};
+EstimatorMetrics EvaluateEstimator(const CostEstimator& estimator,
+                                   const std::vector<CostSample>& samples);
+
+}  // namespace autoview

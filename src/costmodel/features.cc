@@ -1,0 +1,163 @@
+#include "costmodel/features.h"
+
+#include <cmath>
+#include <set>
+
+#include "util/random.h"
+
+namespace autoview {
+
+namespace {
+
+/// Plan-shape counters appended to the numeric feature vector.
+struct PlanShape {
+  double ops = 0, height = 0, joins = 0, filters = 0, aggregates = 0,
+         scans = 0, projects = 0;
+};
+
+PlanShape ShapeOf(const PlanNode& plan) {
+  PlanShape shape;
+  shape.height = static_cast<double>(plan.Height());
+  for (const auto& node : plan.Subtrees()) {
+    ++shape.ops;
+    switch (node->op()) {
+      case PlanOp::kJoin:
+        ++shape.joins;
+        break;
+      case PlanOp::kFilter:
+        ++shape.filters;
+        break;
+      case PlanOp::kAggregate:
+        ++shape.aggregates;
+        break;
+      case PlanOp::kTableScan:
+        ++shape.scans;
+        break;
+      case PlanOp::kProject:
+        ++shape.projects;
+        break;
+    }
+  }
+  return shape;
+}
+
+void AppendShape(const PlanShape& shape, std::vector<double>* out) {
+  out->push_back(shape.ops);
+  out->push_back(shape.height);
+  out->push_back(shape.joins);
+  out->push_back(shape.filters);
+  out->push_back(shape.aggregates);
+  out->push_back(shape.scans);
+  out->push_back(shape.projects);
+}
+
+}  // namespace
+
+size_t FeatureExtractor::NumNumericFeatures() { return 4 + 2 * 7; }
+
+Features FeatureExtractor::Extract(const CostSample& sample) const {
+  Features features;
+
+  // Numerical: statistics of the associated input tables.
+  double total_rows = 0, total_bytes = 0, total_columns = 0;
+  for (const auto& table : sample.tables) {
+    const TableStats& stats = catalog_->GetStats(table);
+    total_rows += static_cast<double>(stats.row_count);
+    total_bytes += static_cast<double>(stats.byte_size);
+    auto schema = catalog_->GetTable(table);
+    if (schema.ok()) {
+      total_columns += static_cast<double>(schema.value()->num_columns());
+    }
+  }
+  features.numeric.push_back(static_cast<double>(sample.tables.size()));
+  features.numeric.push_back(std::log1p(total_rows));
+  features.numeric.push_back(std::log1p(total_bytes));
+  features.numeric.push_back(total_columns);
+  AppendShape(ShapeOf(*sample.query), &features.numeric);
+  AppendShape(ShapeOf(*sample.view), &features.numeric);
+
+  // Non-numerical (1): plan token sequences.
+  features.query_plan = sample.query->FeatureSequence();
+  features.view_plan = sample.view->FeatureSequence();
+
+  // Non-numerical (2): schema keywords of the associated tables.
+  std::set<std::string> keywords;
+  for (const auto& table : sample.tables) {
+    keywords.insert(table);
+    auto schema = catalog_->GetTable(table);
+    if (!schema.ok()) continue;
+    for (const auto& col : schema.value()->columns()) {
+      keywords.insert(col.name);
+      keywords.insert(ColumnTypeName(col.type));
+    }
+  }
+  features.schema_keywords.assign(keywords.begin(), keywords.end());
+  return features;
+}
+
+void Normalizer::Fit(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return;
+  const size_t dim = rows[0].size();
+  mean_.assign(dim, 0.0);
+  std_.assign(dim, 0.0);
+  for (const auto& row : rows) {
+    for (size_t j = 0; j < dim; ++j) mean_[j] += row[j];
+  }
+  for (size_t j = 0; j < dim; ++j) mean_[j] /= static_cast<double>(rows.size());
+  for (const auto& row : rows) {
+    for (size_t j = 0; j < dim; ++j) {
+      const double d = row[j] - mean_[j];
+      std_[j] += d * d;
+    }
+  }
+  for (size_t j = 0; j < dim; ++j) {
+    std_[j] = std::sqrt(std_[j] / static_cast<double>(rows.size()));
+    if (std_[j] < 1e-12) std_[j] = 1.0;
+  }
+}
+
+std::vector<double> Normalizer::Apply(const std::vector<double>& row) const {
+  if (mean_.empty()) return row;
+  std::vector<double> out(row.size());
+  for (size_t j = 0; j < row.size(); ++j) {
+    out[j] = (row[j] - mean_[j]) / std_[j];
+  }
+  return out;
+}
+
+size_t KeywordVocab::Add(const std::string& token) {
+  if (IsStringLiteral(token)) return 0;
+  auto [it, _] = ids_.emplace(token, ids_.size());
+  return it->second;
+}
+
+void KeywordVocab::AddAll(const Features& features) {
+  for (const auto* plan : {&features.query_plan, &features.view_plan}) {
+    for (const auto& op_tokens : *plan) {
+      for (const auto& token : op_tokens) Add(token);
+    }
+  }
+  for (const auto& kw : features.schema_keywords) Add(kw);
+}
+
+size_t KeywordVocab::Lookup(const std::string& token) const {
+  auto it = ids_.find(token);
+  return it == ids_.end() ? 0 : it->second;
+}
+
+DatasetSplit SplitDataset(size_t n, uint64_t seed) {
+  std::vector<size_t> indices(n);
+  for (size_t i = 0; i < n; ++i) indices[i] = i;
+  Rng rng(seed);
+  rng.Shuffle(&indices);
+  DatasetSplit split;
+  const size_t train_end = n * 7 / 10;
+  const size_t val_end = n * 8 / 10;
+  split.train.assign(indices.begin(), indices.begin() + train_end);
+  split.validation.assign(indices.begin() + train_end,
+                          indices.begin() + val_end);
+  split.test.assign(indices.begin() + val_end, indices.end());
+  return split;
+}
+
+}  // namespace autoview

@@ -1,0 +1,117 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "plan/plan.h"
+#include "util/status.h"
+
+namespace autoview {
+
+/// \brief One training/inference sample for cost estimation (§IV):
+/// a query q, a candidate view v (its subquery plan), the associated
+/// tables, and — for training — the ground-truth cost A(q|v).
+struct CostSample {
+  PlanNodePtr query;
+  PlanNodePtr view;
+  std::vector<std::string> tables;  ///< associated base tables of q and v
+  double target = 0.0;              ///< A_{beta,gamma}(q|v) in $
+
+  /// Ground-truth single-plan costs (populated by the dataset builder
+  /// from the metadata database); the DeepLearn baseline trains its
+  /// single-plan model on these.
+  double query_cost = 0.0;     ///< A(q)
+  double subquery_cost = 0.0;  ///< A(s)
+};
+
+/// \brief Extracted features of one sample, split per §IV-A into
+/// numerical features and two kinds of non-numerical features.
+struct Features {
+  /// Numerical: statistics of the input tables and plan shapes.
+  std::vector<double> numeric;
+  /// Non-numerical (1): the query plan as a two-dimensional token
+  /// sequence (per-operator prefix-notation token lists, Fig. 4).
+  std::vector<std::vector<std::string>> query_plan;
+  /// Non-numerical (1b): the view plan, same encoding.
+  std::vector<std::vector<std::string>> view_plan;
+  /// Non-numerical (2): the schema keyword set of the associated tables
+  /// (table names, column names, column type names — Fig. 7b).
+  std::vector<std::string> schema_keywords;
+};
+
+/// \brief Turns CostSamples into Features using catalog metadata.
+class FeatureExtractor {
+ public:
+  explicit FeatureExtractor(const Catalog* catalog) : catalog_(catalog) {}
+
+  Features Extract(const CostSample& sample) const;
+
+  /// Number of numeric features produced (fixed).
+  static size_t NumNumericFeatures();
+
+ private:
+  const Catalog* catalog_;
+};
+
+/// \brief Z-score normalizer for numeric feature vectors, fit on the
+/// training split (Algorithm 1, line 8).
+class Normalizer {
+ public:
+  /// Fits mean/std per dimension. Constant dimensions get std 1.
+  void Fit(const std::vector<std::vector<double>>& rows);
+
+  /// Applies (x - mu) / sigma.
+  std::vector<double> Apply(const std::vector<double>& row) const;
+
+  bool fitted() const { return !mean_.empty(); }
+  const std::vector<double>& mean() const { return mean_; }
+  const std::vector<double>& stddev() const { return std_; }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> std_;
+};
+
+/// \brief Keyword vocabulary shared by plan and schema encodings
+/// (§IV-B2: "we share the Keyword Embedding matrix for the two kinds of
+/// features as their keywords belong to the same database").
+///
+/// Id 0 is reserved for unknown keywords. Quoted tokens ('abc') are
+/// string literals and are NOT keywords — they go through the String
+/// Encoding model instead.
+class KeywordVocab {
+ public:
+  KeywordVocab() { ids_["<unk>"] = 0; }
+
+  /// True for tokens that should take the string-encoding path.
+  static bool IsStringLiteral(const std::string& token) {
+    return !token.empty() && token.front() == '\'';
+  }
+
+  /// Adds a keyword (no-op for string literals); returns its id.
+  size_t Add(const std::string& token);
+
+  /// Adds every keyword appearing in `features`.
+  void AddAll(const Features& features);
+
+  /// Lookup; unknown keywords map to 0.
+  size_t Lookup(const std::string& token) const;
+
+  size_t size() const { return ids_.size(); }
+
+ private:
+  std::map<std::string, size_t> ids_;
+};
+
+/// Splits sample indices into train/validation/test with the paper's
+/// 7:1:2 ratio after a seeded shuffle.
+struct DatasetSplit {
+  std::vector<size_t> train;
+  std::vector<size_t> validation;
+  std::vector<size_t> test;
+};
+DatasetSplit SplitDataset(size_t n, uint64_t seed);
+
+}  // namespace autoview

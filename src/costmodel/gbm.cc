@@ -1,0 +1,134 @@
+#include "costmodel/gbm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace autoview {
+
+double GbmEstimator::Tree::Predict(const std::vector<double>& x) const {
+  int node = 0;
+  while (nodes[static_cast<size_t>(node)].feature >= 0) {
+    const TreeNode& n = nodes[static_cast<size_t>(node)];
+    node = x[static_cast<size_t>(n.feature)] < n.threshold ? n.left : n.right;
+  }
+  return nodes[static_cast<size_t>(node)].value;
+}
+
+int GbmEstimator::GrowNode(Tree* tree,
+                           const std::vector<std::vector<double>>& x,
+                           const std::vector<double>& residual,
+                           std::vector<size_t> indices, size_t depth) const {
+  double sum = 0.0;
+  for (size_t i : indices) sum += residual[i];
+  const double count = static_cast<double>(indices.size());
+  const double leaf_value = sum / (count + options_.l2);
+
+  const int node_index = static_cast<int>(tree->nodes.size());
+  tree->nodes.push_back({});
+  tree->nodes.back().value = leaf_value;
+  if (depth >= options_.max_depth ||
+      indices.size() < 2 * options_.min_leaf) {
+    return node_index;
+  }
+
+  // Best split by squared-loss gain: gl^2/(nl+l2) + gr^2/(nr+l2) -
+  // g^2/(n+l2).
+  const double parent_score = sum * sum / (count + options_.l2);
+  double best_gain = 1e-9;
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  const size_t dim = x[indices[0]].size();
+  std::vector<size_t> sorted = indices;
+  for (size_t f = 0; f < dim; ++f) {
+    std::sort(sorted.begin(), sorted.end(), [&](size_t a, size_t b) {
+      return x[a][f] < x[b][f];
+    });
+    double left_sum = 0.0;
+    for (size_t pos = 0; pos + 1 < sorted.size(); ++pos) {
+      left_sum += residual[sorted[pos]];
+      if (x[sorted[pos]][f] == x[sorted[pos + 1]][f]) continue;
+      const size_t nl = pos + 1;
+      const size_t nr = sorted.size() - nl;
+      if (nl < options_.min_leaf || nr < options_.min_leaf) continue;
+      const double right_sum = sum - left_sum;
+      const double gain =
+          left_sum * left_sum / (static_cast<double>(nl) + options_.l2) +
+          right_sum * right_sum / (static_cast<double>(nr) + options_.l2) -
+          parent_score;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_threshold = (x[sorted[pos]][f] + x[sorted[pos + 1]][f]) / 2.0;
+      }
+    }
+  }
+  if (best_feature < 0) return node_index;
+
+  std::vector<size_t> left_idx, right_idx;
+  for (size_t i : indices) {
+    (x[i][static_cast<size_t>(best_feature)] < best_threshold ? left_idx
+                                                              : right_idx)
+        .push_back(i);
+  }
+  tree->nodes[static_cast<size_t>(node_index)].feature = best_feature;
+  tree->nodes[static_cast<size_t>(node_index)].threshold = best_threshold;
+  const int left = GrowNode(tree, x, residual, std::move(left_idx), depth + 1);
+  tree->nodes[static_cast<size_t>(node_index)].left = left;
+  const int right =
+      GrowNode(tree, x, residual, std::move(right_idx), depth + 1);
+  tree->nodes[static_cast<size_t>(node_index)].right = right;
+  return node_index;
+}
+
+GbmEstimator::Tree GbmEstimator::FitTree(
+    const std::vector<std::vector<double>>& x,
+    const std::vector<double>& residual, std::vector<size_t> indices) const {
+  Tree tree;
+  GrowNode(&tree, x, residual, std::move(indices), 0);
+  return tree;
+}
+
+Status GbmEstimator::Train(const std::vector<CostSample>& samples) {
+  if (samples.empty()) return Status::InvalidArgument("empty training set");
+  std::vector<std::vector<double>> x;
+  x.reserve(samples.size());
+  for (const auto& sample : samples) {
+    x.push_back(extractor_.Extract(sample).numeric);
+  }
+  base_ = 0.0;
+  for (const auto& sample : samples) base_ += sample.target;
+  base_ /= static_cast<double>(samples.size());
+
+  std::vector<double> pred(samples.size(), base_);
+  std::vector<double> residual(samples.size());
+  std::vector<size_t> all(samples.size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+
+  trees_.clear();
+  for (size_t round = 0; round < options_.num_trees; ++round) {
+    for (size_t i = 0; i < samples.size(); ++i) {
+      residual[i] = samples[i].target - pred[i];
+    }
+    Tree tree = FitTree(x, residual, all);
+    for (size_t i = 0; i < samples.size(); ++i) {
+      pred[i] += options_.learning_rate * tree.Predict(x[i]);
+    }
+    trees_.push_back(std::move(tree));
+  }
+  return Status::OK();
+}
+
+double GbmEstimator::PredictFeatures(const std::vector<double>& x) const {
+  double y = base_;
+  for (const auto& tree : trees_) {
+    y += options_.learning_rate * tree.Predict(x);
+  }
+  return y;
+}
+
+double GbmEstimator::Estimate(const CostSample& sample) const {
+  return PredictFeatures(extractor_.Extract(sample).numeric);
+}
+
+}  // namespace autoview

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <vector>
+
+#include "costmodel/estimator.h"
+
+namespace autoview {
+
+/// \brief The `GBM` baseline of Table III: gradient-boosted regression
+/// trees over the numeric features (an XGBoost-style learner with
+/// squared loss, depth-limited trees, shrinkage and L2 leaf
+/// regularization).
+class GbmEstimator : public CostEstimator {
+ public:
+  struct Options {
+    size_t num_trees = 120;
+    size_t max_depth = 3;
+    size_t min_leaf = 3;       ///< minimum samples per leaf
+    double learning_rate = 0.1;
+    double l2 = 1.0;           ///< leaf-weight regularization
+  };
+
+  explicit GbmEstimator(const Catalog* catalog)
+      : GbmEstimator(catalog, Options{}) {}
+  GbmEstimator(const Catalog* catalog, Options options)
+      : extractor_(catalog), options_(options) {}
+
+  Status Train(const std::vector<CostSample>& samples) override;
+  double Estimate(const CostSample& sample) const override;
+  std::string name() const override { return "GBM"; }
+
+  size_t num_trees() const { return trees_.size(); }
+
+ private:
+  struct TreeNode {
+    int feature = -1;       ///< -1 for leaves
+    double threshold = 0.0; ///< go left when x[feature] < threshold
+    double value = 0.0;     ///< leaf prediction
+    int left = -1;
+    int right = -1;
+  };
+  struct Tree {
+    std::vector<TreeNode> nodes;
+    double Predict(const std::vector<double>& x) const;
+  };
+
+  Tree FitTree(const std::vector<std::vector<double>>& x,
+               const std::vector<double>& residual,
+               std::vector<size_t> indices) const;
+  int GrowNode(Tree* tree, const std::vector<std::vector<double>>& x,
+               const std::vector<double>& residual,
+               std::vector<size_t> indices, size_t depth) const;
+
+  double PredictFeatures(const std::vector<double>& x) const;
+
+  FeatureExtractor extractor_;
+  Options options_;
+  double base_ = 0.0;
+  std::vector<Tree> trees_;
+};
+
+}  // namespace autoview

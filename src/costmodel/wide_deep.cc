@@ -1,0 +1,190 @@
+#include "costmodel/wide_deep.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace autoview {
+
+namespace {
+/// Offset guarding log() against zero-cost targets.
+constexpr double kLogEps = 1e-12;
+}  // namespace
+
+using nn::Add;
+using nn::ConcatRows;
+using nn::MseLoss;
+using nn::ReLU;
+using nn::Tensor;
+
+/// All trainable submodules; built once the vocabulary is known.
+struct WideDeepEstimator::Network {
+  Network(size_t vocab_size, size_t numeric_dim, const KeywordVocab* vocab,
+          const WideDeepOptions& opts, Rng* rng)
+      : keyword_embedding(vocab_size, opts.embed_dim, rng,
+                          opts.learn_keyword_embedding),
+        string_encoder(opts.embed_dim, rng, opts.use_string_cnn,
+                       /*trainable_chars=*/opts.use_string_cnn),
+        plan_encoder(&keyword_embedding, &string_encoder, vocab,
+                     opts.plan_hidden, rng, opts.use_sequence_models),
+        schema_encoder(&keyword_embedding, vocab),
+        deep_in(numeric_dim + opts.embed_dim + 2 * plan_encoder.output_dim()),
+        wide(numeric_dim, opts.wide_out, rng),
+        fc1(deep_in, opts.deep_hidden, rng),
+        fc2(opts.deep_hidden, deep_in, rng),
+        fc3(deep_in, opts.deep_hidden, rng),
+        fc4(opts.deep_hidden, deep_in, rng),
+        fc5(opts.wide_out + deep_in, opts.regressor_hidden, rng),
+        fc6(opts.regressor_hidden, 1, rng) {}
+
+  std::vector<Tensor> Parameters() const {
+    std::vector<Tensor> params;
+    auto append = [&params](const std::vector<Tensor>& more) {
+      params.insert(params.end(), more.begin(), more.end());
+    };
+    append(keyword_embedding.Parameters());
+    append(string_encoder.Parameters());
+    append(plan_encoder.Parameters());
+    append(wide.Parameters());
+    append(fc1.Parameters());
+    append(fc2.Parameters());
+    append(fc3.Parameters());
+    append(fc4.Parameters());
+    append(fc5.Parameters());
+    append(fc6.Parameters());
+    return params;
+  }
+
+  nn::Embedding keyword_embedding;
+  StringEncoder string_encoder;
+  PlanEncoder plan_encoder;
+  SchemaEncoder schema_encoder;
+  size_t deep_in;
+  nn::Linear wide;
+  nn::Linear fc1, fc2, fc3, fc4;  // two ResNet blocks
+  nn::Linear fc5, fc6;            // regressor
+};
+
+WideDeepEstimator::WideDeepEstimator(const Catalog* catalog,
+                                     WideDeepOptions options)
+    : catalog_(catalog), options_(options), extractor_(catalog) {}
+
+WideDeepEstimator::~WideDeepEstimator() = default;
+
+std::string WideDeepEstimator::name() const {
+  if (!options_.learn_keyword_embedding) return "N-Kw";
+  if (!options_.use_string_cnn) return "N-Str";
+  if (!options_.use_sequence_models) return "N-Exp";
+  return "W-D";
+}
+
+Tensor WideDeepEstimator::Forward(const Features& features,
+                                  const std::vector<double>& normalized) const {
+  Tensor dc = Tensor::FromData(std::vector<nn::Scalar>(normalized.begin(),
+                                                       normalized.end()),
+                               1, normalized.size());
+  Tensor dm = net_->schema_encoder.Forward(features.schema_keywords);
+  Tensor de_query = net_->plan_encoder.Forward(features.query_plan);
+  Tensor de_view = net_->plan_encoder.Forward(features.view_plan);
+  Tensor dr = nn::ConcatCols({dc, dm, de_query, de_view});
+
+  // Two ResNet blocks (element-wise residual add).
+  Tensor z1 = Add(dr, nn::ReLU(net_->fc2.Forward(ReLU(net_->fc1.Forward(dr)))));
+  Tensor z2 = Add(z1, ReLU(net_->fc4.Forward(ReLU(net_->fc3.Forward(z1)))));
+
+  Tensor dw = net_->wide.Forward(dc);
+  Tensor merged = nn::ConcatCols({dw, z2});
+  return net_->fc6.Forward(ReLU(net_->fc5.Forward(merged)));
+}
+
+Status WideDeepEstimator::Train(const std::vector<CostSample>& samples) {
+  if (samples.empty()) return Status::InvalidArgument("empty training set");
+
+  // Extract features once; build vocabulary + numeric normalizer.
+  std::vector<Features> features;
+  features.reserve(samples.size());
+  std::vector<std::vector<double>> numeric_rows;
+  for (const auto& sample : samples) {
+    features.push_back(extractor_.Extract(sample));
+    numeric_rows.push_back(features.back().numeric);
+    vocab_.AddAll(features.back());
+  }
+  normalizer_.Fit(numeric_rows);
+
+  // Standardize log-transformed targets: costs span orders of
+  // magnitude, and MAPE (the paper's metric) cares about relative
+  // error, which a log-space MSE optimizes much more directly.
+  auto to_log = [](double v) { return std::log(v + kLogEps); };
+  double mean = 0.0;
+  for (const auto& s : samples) mean += to_log(s.target);
+  mean /= static_cast<double>(samples.size());
+  double var = 0.0;
+  for (const auto& s : samples) {
+    var += (to_log(s.target) - mean) * (to_log(s.target) - mean);
+  }
+  var /= static_cast<double>(samples.size());
+  target_mean_ = mean;
+  target_std_ = var > 1e-20 ? std::sqrt(var) : 1.0;
+
+  Rng rng(options_.seed);
+  net_ = std::make_unique<Network>(vocab_.size(),
+                                   FeatureExtractor::NumNumericFeatures(),
+                                   &vocab_, options_, &rng);
+
+  nn::Adam::Options adam_opts;
+  adam_opts.lr = options_.learning_rate;
+  nn::Adam adam(net_->Parameters(), adam_opts);
+
+  std::vector<size_t> order(samples.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  losses_.clear();
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double epoch_loss = 0.0;
+    size_t batches = 0;
+    for (size_t start = 0; start < order.size();
+         start += options_.batch_size) {
+      const size_t end = std::min(order.size(), start + options_.batch_size);
+      adam.ZeroGrad();
+      std::vector<Tensor> preds, targets;
+      for (size_t i = start; i < end; ++i) {
+        const size_t idx = order[i];
+        preds.push_back(Forward(features[idx],
+                                normalizer_.Apply(features[idx].numeric)));
+        targets.push_back(Tensor::Full(
+            1, 1,
+            (std::log(samples[idx].target + kLogEps) - target_mean_) /
+                target_std_));
+      }
+      Tensor loss = MseLoss(ConcatRows(preds), ConcatRows(targets));
+      loss.Backward();
+      adam.Step();
+      epoch_loss += loss.item();
+      ++batches;
+    }
+    losses_.push_back(epoch_loss / static_cast<double>(batches));
+    if (options_.verbose) {
+      AV_LOG(Info) << name() << " epoch " << epoch + 1 << "/"
+                   << options_.epochs << " loss " << losses_.back();
+    }
+  }
+  return Status::OK();
+}
+
+double WideDeepEstimator::Estimate(const CostSample& sample) const {
+  if (!net_) return 0.0;
+  Features features = extractor_.Extract(sample);
+  Tensor pred = Forward(features, normalizer_.Apply(features.numeric));
+  return std::max(
+      0.0, std::exp(pred.item() * target_std_ + target_mean_) - kLogEps);
+}
+
+size_t WideDeepEstimator::NumParameters() const {
+  if (!net_) return 0;
+  size_t n = 0;
+  for (const auto& p : net_->Parameters()) n += p.size();
+  return n;
+}
+
+}  // namespace autoview

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "costmodel/encoders.h"
+#include "costmodel/estimator.h"
+#include "nn/optimizer.h"
+
+namespace autoview {
+
+/// \brief Configuration of the Wide-Deep cost model (§IV-B) and its
+/// three ablations from Table III.
+struct WideDeepOptions {
+  size_t embed_dim = 16;        ///< n_d: keyword/char embedding width
+  size_t plan_hidden = 32;      ///< LSTM2 hidden size (D_e width per plan)
+  size_t deep_hidden = 64;      ///< inner width of each ResNet block FC
+  size_t wide_out = 8;          ///< D_w width
+  size_t regressor_hidden = 32; ///< FC5 width
+
+  // Ablations (all true = full W-D).
+  bool learn_keyword_embedding = true;  ///< false = N-Kw
+  bool use_string_cnn = true;           ///< false = N-Str
+  bool use_sequence_models = true;      ///< false = N-Exp
+
+  // Training (Algorithm 1).
+  size_t epochs = 30;
+  size_t batch_size = 16;
+  double learning_rate = 5e-3;
+  uint64_t seed = 42;
+  bool verbose = false;
+
+  /// Preset builders for the Table III rows.
+  static WideDeepOptions Full() { return {}; }
+  static WideDeepOptions NKw() {
+    WideDeepOptions o;
+    o.learn_keyword_embedding = false;
+    return o;
+  }
+  static WideDeepOptions NStr() {
+    WideDeepOptions o;
+    o.use_string_cnn = false;
+    return o;
+  }
+  static WideDeepOptions NExp() {
+    WideDeepOptions o;
+    o.use_sequence_models = false;
+    return o;
+  }
+};
+
+/// \brief The paper's Wide-Deep cost estimator (Fig. 5):
+///
+///   wide:  D_w = M_w(D_c)                       (affine over numerics)
+///   deep:  D_r = concat(D_c, D_m, D_e)
+///          Z_1 = D_r (+) ReLU(FC2(ReLU(FC1(D_r))))
+///          Z_2 = Z_1 (+) ReLU(FC4(ReLU(FC3(Z_1))))
+///   out:   Y^  = FC6(ReLU(FC5(concat(D_w, Z_2))))
+///
+/// where D_m is the schema encoding and D_e the (query, view) plan
+/// encodings. Targets are z-score standardized during training.
+class WideDeepEstimator : public CostEstimator {
+ public:
+  /// `catalog` supplies table metadata for feature extraction; it must
+  /// outlive the estimator.
+  WideDeepEstimator(const Catalog* catalog, WideDeepOptions options);
+  ~WideDeepEstimator() override;
+
+  Status Train(const std::vector<CostSample>& samples) override;
+  double Estimate(const CostSample& sample) const override;
+  std::string name() const override;
+
+  /// Per-epoch mean training loss (standardized space) of the last
+  /// Train() call, for convergence inspection.
+  const std::vector<double>& training_losses() const { return losses_; }
+
+  size_t NumParameters() const;
+
+ private:
+  struct Network;
+
+  nn::Tensor Forward(const Features& features,
+                     const std::vector<double>& normalized) const;
+
+  const Catalog* catalog_;
+  WideDeepOptions options_;
+  FeatureExtractor extractor_;
+  KeywordVocab vocab_;
+  Normalizer normalizer_;
+  double target_mean_ = 0.0;
+  double target_std_ = 1.0;
+  std::unique_ptr<Network> net_;
+  std::vector<double> losses_;
+};
+
+}  // namespace autoview

@@ -1,0 +1,15 @@
+#include "engine/cost.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace autoview {
+
+double CostConstants::SpillMultiplier(double peak_bytes) const {
+  if (spill_threshold_bytes <= 0 || peak_bytes <= spill_threshold_bytes) {
+    return 1.0;
+  }
+  return 1.0 + spill_factor * std::log2(peak_bytes / spill_threshold_bytes);
+}
+
+}  // namespace autoview

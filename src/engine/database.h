@@ -1,0 +1,43 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "engine/table.h"
+#include "util/status.h"
+
+namespace autoview {
+
+/// \brief A catalog plus the actual table data it describes.
+class Database {
+ public:
+  /// Registers schema + rows. Row cell types must match the schema.
+  Status AddTable(TableSchema schema, std::vector<Row> rows);
+
+  /// Registers an already-materialized result under `name` (used to
+  /// install materialized views so rewritten plans can scan them).
+  Status AddMaterialized(const std::string& name, Table table);
+
+  /// Removes a table (views being dropped).
+  Status DropTable(const std::string& name);
+
+  const Catalog& catalog() const { return catalog_; }
+
+  Result<const Table*> GetTable(const std::string& name) const;
+
+  /// Recomputes TableStats (row/byte counts, distincts, min/max,
+  /// equi-width histograms with `buckets` buckets) for every table.
+  Status ComputeAllStats(size_t buckets = 32);
+
+  /// Stats for a single table.
+  Status ComputeStats(const std::string& name, size_t buckets = 32);
+
+  std::vector<std::string> TableNames() const { return catalog_.TableNames(); }
+
+ private:
+  Catalog catalog_;
+  std::map<std::string, Table> tables_;
+};
+
+}  // namespace autoview

@@ -1,0 +1,378 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace autoview {
+
+namespace {
+
+/// One equi-join key pair: column indices into the left/right children.
+struct EquiKey {
+  size_t left = 0;
+  size_t right = 0;
+};
+
+/// Splits a join condition into equi-key pairs (left col == right col)
+/// and residual conjuncts that must be evaluated on the combined row.
+void SplitJoinCondition(const Expr& cond, size_t left_width,
+                        std::vector<EquiKey>* keys,
+                        std::vector<ExprPtr>* residual) {
+  if (cond.kind() == ExprKind::kAnd) {
+    for (const auto& child : cond.children()) {
+      SplitJoinCondition(*child, left_width, keys, residual);
+    }
+    return;
+  }
+  if (cond.kind() == ExprKind::kCompare &&
+      cond.compare_op() == CompareOp::kEq &&
+      cond.children()[0]->kind() == ExprKind::kColumn &&
+      cond.children()[1]->kind() == ExprKind::kColumn) {
+    size_t a = cond.children()[0]->column_index();
+    size_t b = cond.children()[1]->column_index();
+    if (a >= left_width && b < left_width) std::swap(a, b);
+    if (a < left_width && b >= left_width) {
+      keys->push_back({a, b - left_width});
+      return;
+    }
+  }
+  // Any non-equi (or single-side) conjunct becomes a residual filter. We
+  // re-wrap it as a shared Expr via a structural copy through shift 0.
+  residual->push_back(cond.ShiftColumns(0));
+}
+
+/// Deterministic composite hash key for a set of cells.
+std::string RowKey(const Row& row, const std::vector<size_t>& cols) {
+  std::string key;
+  for (size_t c : cols) {
+    key += row[c].ToString();
+    key += '\x1f';
+  }
+  return key;
+}
+
+
+/// Accumulation state for one aggregate item.
+struct AggState {
+  int64_t count = 0;
+  int64_t sum_int = 0;
+  double sum_double = 0.0;
+  std::optional<Value> min_value;
+  std::optional<Value> max_value;
+};
+
+}  // namespace
+
+Result<ExecResult> Executor::Execute(const PlanNode& plan) const {
+  double cpu = 0.0;
+  AV_ASSIGN_OR_RETURN(NodeResult node, Exec(plan, &cpu));
+  ExecResult result;
+  // Plans whose peak intermediate exceeds the memory budget pay the
+  // spill penalty on all their work (see CostConstants).
+  result.cost.cpu_units = cpu * consts_.SpillMultiplier(node.peak_bytes);
+  result.cost.peak_bytes = node.peak_bytes;
+  result.cost.output_rows = node.table.rows.size();
+  result.cost.output_bytes = node.table.ByteSize();
+  result.table = std::move(node.table);
+  return result;
+}
+
+Result<CostReport> Executor::ExecuteForCost(const PlanNode& plan) const {
+  AV_ASSIGN_OR_RETURN(ExecResult result, Execute(plan));
+  return result.cost;
+}
+
+Result<Executor::NodeResult> Executor::Exec(const PlanNode& node,
+                                            double* cpu) const {
+  switch (node.op()) {
+    case PlanOp::kTableScan:
+      return ExecScan(node, cpu);
+    case PlanOp::kFilter:
+      return ExecFilter(node, cpu);
+    case PlanOp::kProject:
+      return ExecProject(node, cpu);
+    case PlanOp::kJoin:
+      return ExecJoin(node, cpu);
+    case PlanOp::kAggregate:
+      return ExecAggregate(node, cpu);
+    case PlanOp::kSort:
+      return ExecSort(node, cpu);
+    case PlanOp::kLimit:
+      return ExecLimit(node, cpu);
+    case PlanOp::kDistinct:
+      return ExecDistinct(node, cpu);
+  }
+  return Status::Internal("unknown plan operator");
+}
+
+Result<Executor::NodeResult> Executor::ExecSort(const PlanNode& node,
+                                                double* cpu) const {
+  AV_ASSIGN_OR_RETURN(NodeResult in, Exec(*node.child(0), cpu));
+  const double n = static_cast<double>(in.table.rows.size());
+  *cpu += consts_.sort_row * n * std::log2(n + 2.0);
+  const auto& keys = node.sort_keys();
+  std::stable_sort(
+      in.table.rows.begin(), in.table.rows.end(),
+      [&keys](const Row& a, const Row& b) {
+        for (const auto& key : keys) {
+          const int c = a[key.column].Compare(b[key.column]);
+          if (c != 0) return key.descending ? c > 0 : c < 0;
+        }
+        // Full-row tie-break keeps the order independent of the input
+        // order (so LIMIT results survive plan rewrites).
+        for (size_t i = 0; i < a.size(); ++i) {
+          const int c = a[i].Compare(b[i]);
+          if (c != 0) return c < 0;
+        }
+        return false;
+      });
+  NodeResult out;
+  out.table = std::move(in.table);
+  out.peak_bytes =
+      std::max(in.peak_bytes, static_cast<double>(out.table.ByteSize()) * 2);
+  return out;
+}
+
+Result<Executor::NodeResult> Executor::ExecLimit(const PlanNode& node,
+                                                 double* cpu) const {
+  AV_ASSIGN_OR_RETURN(NodeResult in, Exec(*node.child(0), cpu));
+  const size_t n = static_cast<size_t>(node.limit());
+  if (in.table.rows.size() > n) in.table.rows.resize(n);
+  *cpu += consts_.limit_row * static_cast<double>(in.table.rows.size());
+  NodeResult out;
+  out.table = std::move(in.table);
+  out.peak_bytes = in.peak_bytes;
+  return out;
+}
+
+Result<Executor::NodeResult> Executor::ExecDistinct(const PlanNode& node,
+                                                    double* cpu) const {
+  AV_ASSIGN_OR_RETURN(NodeResult in, Exec(*node.child(0), cpu));
+  *cpu += consts_.distinct_row * static_cast<double>(in.table.rows.size());
+  NodeResult out;
+  out.table.columns = node.output();
+  std::unordered_set<std::string> seen;
+  std::vector<size_t> all_cols(in.table.num_columns());
+  for (size_t c = 0; c < all_cols.size(); ++c) all_cols[c] = c;
+  for (auto& row : in.table.rows) {
+    if (seen.insert(RowKey(row, all_cols)).second) {
+      out.table.rows.push_back(std::move(row));
+    }
+  }
+  const double here = static_cast<double>(out.table.ByteSize()) +
+                      static_cast<double>(in.table.ByteSize());
+  out.peak_bytes = std::max(in.peak_bytes, here);
+  return out;
+}
+
+Result<Executor::NodeResult> Executor::ExecScan(const PlanNode& node,
+                                                double* cpu) const {
+  AV_ASSIGN_OR_RETURN(const Table* table, db_->GetTable(node.table()));
+  *cpu += consts_.scan_row * static_cast<double>(table->rows.size());
+  NodeResult out;
+  out.table = *table;  // materialize a private copy
+  out.peak_bytes = static_cast<double>(out.table.ByteSize());
+  return out;
+}
+
+Result<Executor::NodeResult> Executor::ExecFilter(const PlanNode& node,
+                                                  double* cpu) const {
+  AV_ASSIGN_OR_RETURN(NodeResult in, Exec(*node.child(0), cpu));
+  *cpu += consts_.filter_row * static_cast<double>(in.table.rows.size());
+  NodeResult out;
+  out.table.columns = node.output();
+  for (auto& row : in.table.rows) {
+    if (node.predicate()->EvalPredicate(row)) {
+      out.table.rows.push_back(std::move(row));
+    }
+  }
+  const double here = static_cast<double>(out.table.ByteSize());
+  out.peak_bytes = std::max(in.peak_bytes, here);
+  return out;
+}
+
+Result<Executor::NodeResult> Executor::ExecProject(const PlanNode& node,
+                                                   double* cpu) const {
+  AV_ASSIGN_OR_RETURN(NodeResult in, Exec(*node.child(0), cpu));
+  *cpu += consts_.project_row * static_cast<double>(in.table.rows.size());
+  NodeResult out;
+  out.table.columns = node.output();
+  out.table.rows.reserve(in.table.rows.size());
+  for (const auto& row : in.table.rows) {
+    Row projected;
+    projected.reserve(node.projections().size());
+    for (const auto& item : node.projections()) {
+      projected.push_back(item.expr->EvalScalar(row));
+    }
+    out.table.rows.push_back(std::move(projected));
+  }
+  const double here = static_cast<double>(out.table.ByteSize());
+  out.peak_bytes = std::max(in.peak_bytes, here);
+  return out;
+}
+
+Result<Executor::NodeResult> Executor::ExecJoin(const PlanNode& node,
+                                                double* cpu) const {
+  AV_ASSIGN_OR_RETURN(NodeResult left, Exec(*node.child(0), cpu));
+  AV_ASSIGN_OR_RETURN(NodeResult right, Exec(*node.child(1), cpu));
+  const size_t left_width = node.child(0)->num_output_columns();
+
+  std::vector<EquiKey> keys;
+  std::vector<ExprPtr> residual;
+  SplitJoinCondition(*node.join_condition(), left_width, &keys, &residual);
+
+  NodeResult out;
+  out.table.columns = node.output();
+
+  auto emit_if_match = [&](const Row& l, const Row& r) {
+    Row combined;
+    combined.reserve(l.size() + r.size());
+    combined.insert(combined.end(), l.begin(), l.end());
+    combined.insert(combined.end(), r.begin(), r.end());
+    for (const auto& pred : residual) {
+      if (!pred->EvalPredicate(combined)) return;
+    }
+    *cpu += consts_.join_output_row;
+    out.table.rows.push_back(std::move(combined));
+  };
+
+  double aux_bytes = 0.0;
+  if (!keys.empty()) {
+    // Hash join: build on the right child, probe with the left.
+    std::vector<size_t> right_cols, left_cols;
+    for (const auto& k : keys) {
+      right_cols.push_back(k.right);
+      left_cols.push_back(k.left);
+    }
+    std::unordered_map<std::string, std::vector<const Row*>> build;
+    build.reserve(right.table.rows.size() * 2);
+    for (const auto& row : right.table.rows) {
+      build[RowKey(row, right_cols)].push_back(&row);
+    }
+    *cpu +=
+        consts_.join_build_row * static_cast<double>(right.table.rows.size());
+    aux_bytes = static_cast<double>(right.table.ByteSize());
+    for (const auto& l : left.table.rows) {
+      *cpu += consts_.join_probe_row;
+      auto it = build.find(RowKey(l, left_cols));
+      if (it == build.end()) continue;
+      for (const Row* r : it->second) emit_if_match(l, *r);
+    }
+  } else {
+    // Nested loop fallback.
+    *cpu += consts_.nested_loop_pair *
+            static_cast<double>(left.table.rows.size()) *
+            static_cast<double>(right.table.rows.size());
+    for (const auto& l : left.table.rows) {
+      for (const auto& r : right.table.rows) emit_if_match(l, r);
+    }
+  }
+
+  const double here = static_cast<double>(out.table.ByteSize()) + aux_bytes +
+                      static_cast<double>(left.table.ByteSize());
+  out.peak_bytes = std::max({left.peak_bytes, right.peak_bytes, here});
+  return out;
+}
+
+Result<Executor::NodeResult> Executor::ExecAggregate(const PlanNode& node,
+                                                     double* cpu) const {
+  AV_ASSIGN_OR_RETURN(NodeResult in, Exec(*node.child(0), cpu));
+  *cpu += consts_.agg_update_row * static_cast<double>(in.table.rows.size());
+
+  const auto& group_by = node.group_by();
+  const auto& aggs = node.aggregates();
+
+  // std::map gives deterministic group output order.
+  std::map<std::string, std::pair<Row, std::vector<AggState>>> groups;
+  for (const auto& row : in.table.rows) {
+    std::string key = RowKey(row, group_by);
+    auto [it, inserted] = groups.try_emplace(key);
+    if (inserted) {
+      Row key_row;
+      for (size_t g : group_by) key_row.push_back(row[g]);
+      it->second.first = std::move(key_row);
+      it->second.second.resize(aggs.size());
+    }
+    auto& states = it->second.second;
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      AggState& st = states[a];
+      st.count += 1;
+      if (aggs[a].kind == AggKind::kCountStar ||
+          aggs[a].kind == AggKind::kCount) {
+        continue;
+      }
+      const Value& v = row[*aggs[a].input_column];
+      switch (aggs[a].kind) {
+        case AggKind::kSum:
+        case AggKind::kAvg:
+          if (v.is_int()) {
+            st.sum_int += v.AsInt();
+          }
+          st.sum_double += v.AsDouble();
+          break;
+        case AggKind::kMin:
+          if (!st.min_value || v < *st.min_value) st.min_value = v;
+          break;
+        case AggKind::kMax:
+          if (!st.max_value || *st.max_value < v) st.max_value = v;
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  // Global aggregate over empty input still yields one row.
+  if (groups.empty() && group_by.empty()) {
+    groups.try_emplace("", std::make_pair(Row{}, std::vector<AggState>(
+                                                     aggs.size())));
+  }
+
+  NodeResult out;
+  out.table.columns = node.output();
+  for (auto& [_, entry] : groups) {
+    Row row = std::move(entry.first);
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      const AggState& st = entry.second[a];
+      const ColumnType out_type = node.output()[group_by.size() + a].type;
+      switch (aggs[a].kind) {
+        case AggKind::kCountStar:
+        case AggKind::kCount:
+          row.push_back(Value(st.count));
+          break;
+        case AggKind::kSum:
+          if (out_type == ColumnType::kInt64) {
+            row.push_back(Value(st.sum_int));
+          } else {
+            row.push_back(Value(st.sum_double));
+          }
+          break;
+        case AggKind::kAvg:
+          row.push_back(Value(
+              st.count ? st.sum_double / static_cast<double>(st.count) : 0.0));
+          break;
+        case AggKind::kMin:
+          row.push_back(st.min_value.value_or(Value(int64_t{0})));
+          break;
+        case AggKind::kMax:
+          row.push_back(st.max_value.value_or(Value(int64_t{0})));
+          break;
+      }
+    }
+    out.table.rows.push_back(std::move(row));
+  }
+  *cpu += consts_.agg_output_row * static_cast<double>(out.table.rows.size());
+
+  const double here = static_cast<double>(out.table.ByteSize()) * 2.0 +
+                      static_cast<double>(in.table.ByteSize());
+  out.peak_bytes = std::max(in.peak_bytes, here);
+  return out;
+}
+
+}  // namespace autoview

@@ -1,0 +1,57 @@
+#pragma once
+
+#include "engine/cost.h"
+#include "engine/database.h"
+#include "engine/table.h"
+#include "plan/plan.h"
+#include "util/status.h"
+
+namespace autoview {
+
+/// \brief Result of executing a logical plan: the output table and the
+/// deterministic cost report.
+struct ExecResult {
+  Table table;
+  CostReport cost;
+};
+
+/// \brief Executes logical plans against a Database with cost metering.
+///
+/// Operators: table scan, filter, projection, inner hash join (with a
+/// nested-loop fallback when the ON clause has no equi-key), and hash
+/// aggregation. All work is charged to a CostReport using CostConstants,
+/// giving bit-reproducible costs for a given plan and data.
+class Executor {
+ public:
+  explicit Executor(const Database* db, CostConstants consts = CostConstants())
+      : db_(db), consts_(consts) {}
+
+  /// Executes `plan` and returns the result rows plus cost.
+  Result<ExecResult> Execute(const PlanNode& plan) const;
+
+  /// Executes and returns only the cost (result rows discarded).
+  Result<CostReport> ExecuteForCost(const PlanNode& plan) const;
+
+  const CostConstants& constants() const { return consts_; }
+
+ private:
+  struct NodeResult {
+    Table table;
+    double peak_bytes = 0.0;
+  };
+
+  Result<NodeResult> Exec(const PlanNode& node, double* cpu_units) const;
+  Result<NodeResult> ExecScan(const PlanNode& node, double* cpu) const;
+  Result<NodeResult> ExecFilter(const PlanNode& node, double* cpu) const;
+  Result<NodeResult> ExecProject(const PlanNode& node, double* cpu) const;
+  Result<NodeResult> ExecJoin(const PlanNode& node, double* cpu) const;
+  Result<NodeResult> ExecAggregate(const PlanNode& node, double* cpu) const;
+  Result<NodeResult> ExecSort(const PlanNode& node, double* cpu) const;
+  Result<NodeResult> ExecLimit(const PlanNode& node, double* cpu) const;
+  Result<NodeResult> ExecDistinct(const PlanNode& node, double* cpu) const;
+
+  const Database* db_;
+  CostConstants consts_;
+};
+
+}  // namespace autoview

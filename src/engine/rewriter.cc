@@ -1,0 +1,104 @@
+#include "engine/rewriter.h"
+
+#include "plan/canonical.h"
+#include "util/strings.h"
+
+namespace autoview {
+
+Result<PlanNodePtr> Rewriter::Rewrite(const PlanNodePtr& plan,
+                                      const MaterializedView& view,
+                                      bool* changed) const {
+  *changed = false;
+  return RewriteNode(plan, view, changed);
+}
+
+Result<PlanNodePtr> Rewriter::RewriteAll(
+    const PlanNodePtr& plan, const std::vector<const MaterializedView*>& views,
+    size_t* num_substitutions) const {
+  if (num_substitutions) *num_substitutions = 0;
+  PlanNodePtr current = plan;
+  for (const MaterializedView* view : views) {
+    bool changed = false;
+    AV_ASSIGN_OR_RETURN(current, RewriteNode(current, *view, &changed));
+    if (changed && num_substitutions) ++*num_substitutions;
+  }
+  return current;
+}
+
+Result<PlanNodePtr> Rewriter::BuildReplacement(
+    const PlanNode& original, const MaterializedView& view) const {
+  AV_ASSIGN_OR_RETURN(PlanNodePtr scan,
+                      PlanNode::MakeScan(*catalog_, view.table_name));
+  // Map the original subtree's output columns onto the view's columns by
+  // name (canonical equivalence guarantees the same named column set).
+  bool identity = scan->output().size() == original.output().size();
+  std::vector<ProjectItem> items;
+  for (size_t i = 0; i < original.output().size(); ++i) {
+    const auto& want = original.output()[i];
+    std::optional<size_t> found;
+    for (size_t j = 0; j < scan->output().size(); ++j) {
+      if (scan->output()[j].name == want.name) {
+        found = j;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::Internal(
+          StrFormat("view %s lacks column %s required by the subquery",
+                    view.table_name.c_str(), want.name.c_str()));
+    }
+    if (*found != i) identity = false;
+    items.push_back(
+        {Expr::Column(*found, want.name, scan->output()[*found].type),
+         want.name});
+  }
+  if (identity) return scan;
+  return PlanNode::MakeProject(std::move(scan), std::move(items));
+}
+
+Result<PlanNodePtr> Rewriter::RewriteNode(const PlanNodePtr& node,
+                                          const MaterializedView& view,
+                                          bool* changed) const {
+  if (CanonicalKey(*node) == view.canonical_key) {
+    *changed = true;
+    return BuildReplacement(*node, view);
+  }
+  // Recurse into children; rebuild this node if any child changed.
+  std::vector<PlanNodePtr> new_children;
+  bool any = false;
+  for (const auto& child : node->children()) {
+    bool child_changed = false;
+    AV_ASSIGN_OR_RETURN(PlanNodePtr rewritten,
+                        RewriteNode(child, view, &child_changed));
+    any |= child_changed;
+    new_children.push_back(std::move(rewritten));
+  }
+  if (!any) return node;
+  *changed = true;
+  switch (node->op()) {
+    case PlanOp::kTableScan:
+      return node;  // unreachable: scans have no children
+    case PlanOp::kFilter:
+      return PlanNode::MakeFilter(new_children[0], node->predicate());
+    case PlanOp::kProject:
+      return PlanNode::MakeProject(new_children[0], node->projections());
+    case PlanOp::kJoin:
+      return PlanNode::MakeJoin(new_children[0], new_children[1],
+                                node->join_condition());
+    case PlanOp::kAggregate: {
+      // MakeAggregate re-derives input names; copy the agg items fresh.
+      std::vector<AggItem> aggs = node->aggregates();
+      return PlanNode::MakeAggregate(new_children[0], node->group_by(),
+                                     std::move(aggs));
+    }
+    case PlanOp::kSort:
+      return PlanNode::MakeSort(new_children[0], node->sort_keys());
+    case PlanOp::kLimit:
+      return PlanNode::MakeLimit(new_children[0], node->limit());
+    case PlanOp::kDistinct:
+      return PlanNode::MakeDistinct(new_children[0]);
+  }
+  return Status::Internal("unknown plan operator");
+}
+
+}  // namespace autoview

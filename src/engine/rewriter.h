@@ -1,0 +1,49 @@
+#pragma once
+
+#include <vector>
+
+#include "engine/view_store.h"
+#include "plan/plan.h"
+#include "util/status.h"
+
+namespace autoview {
+
+/// \brief Rewrites query plans to scan materialized views instead of
+/// recomputing their subqueries.
+///
+/// A subtree is replaced when it is semantically equivalent (canonical
+/// key match) to a view's plan. The replacement is a TableScan of the
+/// view's backing table, plus a Project that restores the subtree's
+/// exact output column order/names so all parent expressions stay valid.
+class Rewriter {
+ public:
+  /// `catalog` must contain the views' backing tables.
+  explicit Rewriter(const Catalog* catalog) : catalog_(catalog) {}
+
+  /// Rewrites `plan` with a single view. `*changed` reports whether any
+  /// substitution happened (it is set to false otherwise).
+  Result<PlanNodePtr> Rewrite(const PlanNodePtr& plan,
+                              const MaterializedView& view,
+                              bool* changed) const;
+
+  /// Applies several views (already chosen to be non-overlapping by the
+  /// selector) in order. Substitutions by an earlier view hide the
+  /// subtrees an overlapping later view would have matched.
+  Result<PlanNodePtr> RewriteAll(
+      const PlanNodePtr& plan,
+      const std::vector<const MaterializedView*>& views,
+      size_t* num_substitutions) const;
+
+ private:
+  Result<PlanNodePtr> RewriteNode(const PlanNodePtr& node,
+                                  const MaterializedView& view,
+                                  bool* changed) const;
+
+  /// Builds Scan(view table) [+ Project] matching `original`'s output.
+  Result<PlanNodePtr> BuildReplacement(const PlanNode& original,
+                                       const MaterializedView& view) const;
+
+  const Catalog* catalog_;
+};
+
+}  // namespace autoview

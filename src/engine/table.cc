@@ -1,0 +1,58 @@
+#include "engine/table.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace autoview {
+
+uint64_t Table::ByteSize() const {
+  uint64_t total = 0;
+  for (const auto& row : rows) {
+    for (const auto& cell : row) total += cell.ByteSize();
+  }
+  return total;
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  std::vector<std::string> header;
+  for (const auto& col : columns) {
+    header.push_back(col.name + ":" + ColumnTypeName(col.type));
+  }
+  std::string out = Join(header, " | ") + "\n";
+  for (size_t i = 0; i < rows.size() && i < max_rows; ++i) {
+    std::vector<std::string> cells;
+    for (const auto& cell : rows[i]) cells.push_back(cell.ToString());
+    out += Join(cells, " | ") + "\n";
+  }
+  if (rows.size() > max_rows) {
+    out += StrFormat("... (%zu rows total)\n", rows.size());
+  }
+  return out;
+}
+
+bool TablesEqualUnordered(const Table& a, const Table& b) {
+  if (a.columns.size() != b.columns.size()) return false;
+  for (size_t i = 0; i < a.columns.size(); ++i) {
+    if (a.columns[i].name != b.columns[i].name) return false;
+  }
+  if (a.rows.size() != b.rows.size()) return false;
+  auto key = [](const Row& row) {
+    std::string k;
+    for (const auto& cell : row) {
+      k += cell.ToString();
+      k += '\x1f';
+    }
+    return k;
+  };
+  std::vector<std::string> ka, kb;
+  ka.reserve(a.rows.size());
+  kb.reserve(b.rows.size());
+  for (const auto& row : a.rows) ka.push_back(key(row));
+  for (const auto& row : b.rows) kb.push_back(key(row));
+  std::sort(ka.begin(), ka.end());
+  std::sort(kb.begin(), kb.end());
+  return ka == kb;
+}
+
+}  // namespace autoview

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/value.h"
+#include "plan/plan.h"
+
+namespace autoview {
+
+/// \brief One materialized row.
+using Row = std::vector<Value>;
+
+/// \brief An in-memory table: a header of named/typed columns plus rows.
+///
+/// Used both for base relations loaded into a Database and for operator
+/// results / materialized views produced by the Executor.
+struct Table {
+  std::vector<OutputColumn> columns;
+  std::vector<Row> rows;
+
+  size_t num_rows() const { return rows.size(); }
+  size_t num_columns() const { return columns.size(); }
+
+  /// Approximate in-memory footprint of all cell payloads.
+  uint64_t ByteSize() const;
+
+  /// Multi-line rendering (header + up to `max_rows` rows) for debugging.
+  std::string ToString(size_t max_rows = 20) const;
+};
+
+/// Bag (multiset) equality ignoring row order; column names/types must
+/// match positionally. Used by integration tests to verify rewrites.
+bool TablesEqualUnordered(const Table& a, const Table& b);
+
+}  // namespace autoview

@@ -1,0 +1,65 @@
+#include "engine/view_store.h"
+
+#include "plan/canonical.h"
+
+namespace autoview {
+
+Result<const MaterializedView*> MaterializedViewStore::Materialize(
+    PlanNodePtr subquery, const Executor& executor) {
+  if (!subquery) return Status::InvalidArgument("null subquery");
+  std::string key = CanonicalKey(*subquery);
+  if (auto it = by_key_.find(key); it != by_key_.end()) {
+    return Status::AlreadyExists("view already materialized for subquery");
+  }
+  AV_ASSIGN_OR_RETURN(ExecResult result, executor.Execute(*subquery));
+  MaterializedView view;
+  view.id = next_id_++;
+  view.table_name = "__mv_" + std::to_string(view.id);
+  view.plan = std::move(subquery);
+  view.canonical_key = std::move(key);
+  view.byte_size = result.table.ByteSize();
+  view.build_cost = result.cost;
+  AV_RETURN_NOT_OK(
+      db_->AddMaterialized(view.table_name, std::move(result.table)));
+  auto [it, _] = by_id_.emplace(view.id, std::move(view));
+  by_key_.emplace(it->second.canonical_key, it->first);
+  return &it->second;
+}
+
+const MaterializedView* MaterializedViewStore::FindByKey(
+    const std::string& canonical_key) const {
+  auto it = by_key_.find(canonical_key);
+  return it == by_key_.end() ? nullptr : &by_id_.at(it->second);
+}
+
+const MaterializedView* MaterializedViewStore::FindById(int64_t id) const {
+  auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : &it->second;
+}
+
+Status MaterializedViewStore::Drop(int64_t id) {
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) return Status::NotFound("no such view");
+  AV_RETURN_NOT_OK(db_->DropTable(it->second.table_name));
+  by_key_.erase(it->second.canonical_key);
+  by_id_.erase(it);
+  return Status::OK();
+}
+
+Status MaterializedViewStore::Clear() {
+  while (!by_id_.empty()) {
+    AV_RETURN_NOT_OK(Drop(by_id_.begin()->first));
+  }
+  return Status::OK();
+}
+
+double MaterializedViewStore::TotalOverhead(const Pricing& pricing) const {
+  double total = 0.0;
+  for (const auto& [_, view] : by_id_) {
+    total += pricing.StorageFee(view.byte_size) +
+             pricing.QueryCost(view.build_cost);
+  }
+  return total;
+}
+
+}  // namespace autoview

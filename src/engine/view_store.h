@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "engine/cost.h"
+#include "engine/database.h"
+#include "engine/executor.h"
+#include "plan/plan.h"
+#include "util/status.h"
+
+namespace autoview {
+
+/// \brief One materialized view: a subquery plan plus its stored result.
+struct MaterializedView {
+  int64_t id = 0;
+  std::string table_name;     ///< backing table registered in the Database
+  PlanNodePtr plan;           ///< the subquery this view materializes
+  std::string canonical_key;  ///< CanonicalKey(*plan)
+  uint64_t byte_size = 0;     ///< u_sto: stored result size
+  CostReport build_cost;      ///< A(s): cost of computing the subquery
+};
+
+/// \brief Owns materialized views: executes subqueries, installs their
+/// results as scannable tables, and supports dropping them again.
+class MaterializedViewStore {
+ public:
+  /// `db` must outlive the store; views are registered into it.
+  explicit MaterializedViewStore(Database* db) : db_(db) {}
+
+  /// Executes `subquery`, stores the result as a new table named
+  /// `__mv_<id>` and returns the view descriptor.
+  Result<const MaterializedView*> Materialize(PlanNodePtr subquery,
+                                              const Executor& executor);
+
+  /// Looks a view up by the canonical key of its plan.
+  const MaterializedView* FindByKey(const std::string& canonical_key) const;
+
+  const MaterializedView* FindById(int64_t id) const;
+
+  /// Drops the view and its backing table.
+  Status Drop(int64_t id);
+
+  /// Drops everything.
+  Status Clear();
+
+  size_t size() const { return by_id_.size(); }
+
+  /// Total overhead O_v = A_alpha(v) + A(s) across all live views.
+  double TotalOverhead(const Pricing& pricing) const;
+
+ private:
+  Database* db_;
+  int64_t next_id_ = 1;
+  std::map<int64_t, MaterializedView> by_id_;
+  std::map<std::string, int64_t> by_key_;
+};
+
+}  // namespace autoview

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "ilp/problem.h"
+
+namespace autoview {
+
+/// \brief Exact (budgeted) solver for the full MVS ILP, playing the role
+/// of the paper's `OPT` column in Table IV.
+///
+/// Branches on the z variables in descending net-value order; at each
+/// node the admissible upper bound treats every undecided view as
+/// materialized for benefit purposes but free of overhead. Like the
+/// paper's attempt with commercial ILP solvers, the search succeeds on
+/// JOB-scale instances and gives up (returns ResourceExhausted) when the
+/// node budget is exceeded on WK-scale instances.
+class BranchAndBoundSolver {
+ public:
+  struct Options {
+    uint64_t max_nodes = 2'000'000;
+    /// Budget on per-query Y-Opt solves (the search's real unit of
+    /// work): every leaf evaluation and every tight bound costs |Q|
+    /// solves. 5M solves is tens of seconds of search.
+    uint64_t max_yopt_solves = 5'000'000;
+    /// Depths at which the expensive exact Y-Opt relaxation bound is
+    /// evaluated in addition to the cheap per-view decomposition bound.
+    size_t tight_bound_depth = 14;
+  };
+
+  explicit BranchAndBoundSolver(Options options) : options_(options) {}
+  BranchAndBoundSolver() : BranchAndBoundSolver(Options{}) {}
+
+  /// Returns the optimal solution, or ResourceExhausted if the node
+  /// budget ran out before the search space was exhausted.
+  Result<MvsSolution> Solve(const MvsProblem& problem) const;
+
+  /// Nodes expanded by the last Solve call.
+  uint64_t nodes_expanded() const { return nodes_; }
+
+ private:
+  Options options_;
+  mutable uint64_t nodes_ = 0;
+};
+
+}  // namespace autoview

@@ -1,0 +1,125 @@
+#include "nn/serialize.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "util/strings.h"
+
+namespace autoview {
+namespace nn {
+
+namespace {
+
+constexpr char kMagic[4] = {'A', 'V', 'N', 'N'};
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+Status WriteBytes(std::FILE* f, const void* data, size_t n) {
+  if (std::fwrite(data, 1, n, f) != n) {
+    return Status::Internal("short write");
+  }
+  return Status::OK();
+}
+
+Status ReadBytes(std::FILE* f, void* data, size_t n) {
+  if (std::fread(data, 1, n, f) != n) {
+    return Status::ParseError("short read / truncated model file");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveParameters(const std::vector<Tensor>& params,
+                      const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::Internal("cannot open for writing: " + path);
+  AV_RETURN_NOT_OK(WriteBytes(f.get(), kMagic, sizeof(kMagic)));
+  AV_RETURN_NOT_OK(WriteBytes(f.get(), &kVersion, sizeof(kVersion)));
+  const uint64_t count = params.size();
+  AV_RETURN_NOT_OK(WriteBytes(f.get(), &count, sizeof(count)));
+  for (const auto& p : params) {
+    const uint64_t rows = p.rows(), cols = p.cols();
+    AV_RETURN_NOT_OK(WriteBytes(f.get(), &rows, sizeof(rows)));
+    AV_RETURN_NOT_OK(WriteBytes(f.get(), &cols, sizeof(cols)));
+    AV_RETURN_NOT_OK(WriteBytes(f.get(), p.data().data(),
+                                p.data().size() * sizeof(Scalar)));
+  }
+  return Status::OK();
+}
+
+Status LoadParameters(const std::string& path, std::vector<Tensor>* params) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::NotFound("cannot open: " + path);
+  char magic[4];
+  AV_RETURN_NOT_OK(ReadBytes(f.get(), magic, sizeof(magic)));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::ParseError("not an AVNN model file: " + path);
+  }
+  uint32_t version = 0;
+  AV_RETURN_NOT_OK(ReadBytes(f.get(), &version, sizeof(version)));
+  if (version != kVersion) {
+    return Status::Unsupported(
+        StrFormat("model file version %u (expected %u)", version, kVersion));
+  }
+  uint64_t count = 0;
+  AV_RETURN_NOT_OK(ReadBytes(f.get(), &count, sizeof(count)));
+  if (count != params->size()) {
+    return Status::InvalidArgument(
+        StrFormat("model file holds %llu tensors, module expects %zu",
+                  static_cast<unsigned long long>(count), params->size()));
+  }
+  for (auto& p : *params) {
+    uint64_t rows = 0, cols = 0;
+    AV_RETURN_NOT_OK(ReadBytes(f.get(), &rows, sizeof(rows)));
+    AV_RETURN_NOT_OK(ReadBytes(f.get(), &cols, sizeof(cols)));
+    if (rows != p.rows() || cols != p.cols()) {
+      return Status::InvalidArgument(
+          StrFormat("tensor shape mismatch: file %llux%llu vs module %zux%zu",
+                    static_cast<unsigned long long>(rows),
+                    static_cast<unsigned long long>(cols), p.rows(),
+                    p.cols()));
+    }
+    AV_RETURN_NOT_OK(ReadBytes(f.get(), p.mutable_data().data(),
+                               p.mutable_data().size() * sizeof(Scalar)));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::pair<size_t, size_t>>> PeekShapes(
+    const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::NotFound("cannot open: " + path);
+  char magic[4];
+  AV_RETURN_NOT_OK(ReadBytes(f.get(), magic, sizeof(magic)));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::ParseError("not an AVNN model file: " + path);
+  }
+  uint32_t version = 0;
+  AV_RETURN_NOT_OK(ReadBytes(f.get(), &version, sizeof(version)));
+  uint64_t count = 0;
+  AV_RETURN_NOT_OK(ReadBytes(f.get(), &count, sizeof(count)));
+  std::vector<std::pair<size_t, size_t>> shapes;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t rows = 0, cols = 0;
+    AV_RETURN_NOT_OK(ReadBytes(f.get(), &rows, sizeof(rows)));
+    AV_RETURN_NOT_OK(ReadBytes(f.get(), &cols, sizeof(cols)));
+    shapes.emplace_back(rows, cols);
+    if (std::fseek(f.get(),
+                   static_cast<long>(rows * cols * sizeof(Scalar)),
+                   SEEK_CUR) != 0) {
+      return Status::ParseError("truncated model file");
+    }
+  }
+  return shapes;
+}
+
+}  // namespace nn
+}  // namespace autoview

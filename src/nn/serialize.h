@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+#include "util/status.h"
+
+namespace autoview {
+namespace nn {
+
+/// \brief Parameter (de)serialization for trained models.
+///
+/// The paper's system trains models offline and ships them to the
+/// online recommendation path (Fig. 3); these helpers persist a
+/// module's parameter list to a simple self-describing binary file.
+///
+/// Format: magic "AVNN", u32 version, u64 tensor count, then per tensor
+/// u64 rows, u64 cols, rows*cols doubles (little-endian host order).
+
+/// Writes `params` (in order) to `path`.
+Status SaveParameters(const std::vector<Tensor>& params,
+                      const std::string& path);
+
+/// Reads parameters from `path` into `params` (shapes must match).
+Status LoadParameters(const std::string& path, std::vector<Tensor>* params);
+
+/// Reads just the tensor shapes stored in `path`.
+Result<std::vector<std::pair<size_t, size_t>>> PeekShapes(
+    const std::string& path);
+
+}  // namespace nn
+}  // namespace autoview

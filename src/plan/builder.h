@@ -1,0 +1,33 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "plan/plan.h"
+#include "sql/ast.h"
+#include "util/status.h"
+
+namespace autoview {
+
+/// \brief Translates parsed SELECT statements into logical plans.
+///
+/// Derived tables become subplans; aliases are resolved against a scope
+/// stack; queries with aggregates get an Aggregate node (plus a Project
+/// on top when the select-list order/names differ from the aggregate's
+/// natural output).
+class PlanBuilder {
+ public:
+  explicit PlanBuilder(const Catalog* catalog) : catalog_(catalog) {}
+
+  /// Builds the logical plan for `stmt`.
+  Result<PlanNodePtr> Build(const SelectStmt& stmt) const;
+
+  /// Convenience: parse + build.
+  Result<PlanNodePtr> BuildFromSql(const std::string& sql) const;
+
+ private:
+  const Catalog* catalog_;
+};
+
+}  // namespace autoview

@@ -1,0 +1,132 @@
+#include "plan/canonical.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace autoview {
+
+namespace {
+
+CompareOp FlipOp(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return CompareOp::kGt;
+    case CompareOp::kLe:
+      return CompareOp::kGe;
+    case CompareOp::kGt:
+      return CompareOp::kLt;
+    case CompareOp::kGe:
+      return CompareOp::kLe;
+    default:
+      return op;
+  }
+}
+
+}  // namespace
+
+std::string CanonicalExprKey(const Expr& expr) {
+  switch (expr.kind()) {
+    case ExprKind::kColumn:
+      return "col:" + expr.column_name();
+    case ExprKind::kLiteral:
+      return "lit:" + expr.literal().ToString();
+    case ExprKind::kCompare: {
+      std::string l = CanonicalExprKey(*expr.children()[0]);
+      std::string r = CanonicalExprKey(*expr.children()[1]);
+      CompareOp op = expr.compare_op();
+      // Orient inequalities so the lexicographically smaller operand
+      // comes first; symmetric ops just sort operands.
+      if (op == CompareOp::kEq || op == CompareOp::kNe) {
+        if (r < l) std::swap(l, r);
+      } else if (r < l) {
+        std::swap(l, r);
+        op = FlipOp(op);
+      }
+      return std::string(CompareOpName(op)) + "(" + l + "," + r + ")";
+    }
+    case ExprKind::kAnd:
+    case ExprKind::kOr: {
+      std::vector<std::string> parts;
+      for (const auto& child : expr.children()) {
+        parts.push_back(CanonicalExprKey(*child));
+      }
+      std::sort(parts.begin(), parts.end());
+      return (expr.kind() == ExprKind::kAnd ? std::string("AND[")
+                                            : std::string("OR[")) +
+             Join(parts, ",") + "]";
+    }
+    case ExprKind::kNot:
+      return "NOT[" + CanonicalExprKey(*expr.children()[0]) + "]";
+  }
+  return "?";
+}
+
+std::string CanonicalKey(const PlanNode& node) {
+  switch (node.op()) {
+    case PlanOp::kTableScan:
+      return "Scan{" + node.table() + "}";
+    case PlanOp::kFilter:
+      return "Filter{" + CanonicalExprKey(*node.predicate()) + "}(" +
+             CanonicalKey(*node.child(0)) + ")";
+    case PlanOp::kProject: {
+      std::vector<std::string> items;
+      for (const auto& item : node.projections()) {
+        items.push_back(item.name + "<-" + CanonicalExprKey(*item.expr));
+      }
+      std::sort(items.begin(), items.end());
+      return "Project{" + Join(items, ",") + "}(" +
+             CanonicalKey(*node.child(0)) + ")";
+    }
+    case PlanOp::kJoin: {
+      std::string l = CanonicalKey(*node.child(0));
+      std::string r = CanonicalKey(*node.child(1));
+      if (r < l) std::swap(l, r);  // inner joins commute
+      return "Join{" + CanonicalExprKey(*node.join_condition()) + "}(" + l +
+             "," + r + ")";
+    }
+    case PlanOp::kSort: {
+      std::vector<std::string> keys;
+      for (const auto& key : node.sort_keys()) {
+        keys.push_back(node.child(0)->output()[key.column].name +
+                       (key.descending ? ":desc" : ":asc"));
+      }
+      // Key order is semantically significant; do not sort.
+      return "Sort{" + Join(keys, ",") + "}(" + CanonicalKey(*node.child(0)) +
+             ")";
+    }
+    case PlanOp::kLimit:
+      return "Limit{" + std::to_string(node.limit()) + "}(" +
+             CanonicalKey(*node.child(0)) + ")";
+    case PlanOp::kDistinct:
+      return "Distinct(" + CanonicalKey(*node.child(0)) + ")";
+    case PlanOp::kAggregate: {
+      std::vector<std::string> groups;
+      for (size_t g : node.group_by()) {
+        groups.push_back(node.child(0)->output()[g].name);
+      }
+      std::sort(groups.begin(), groups.end());
+      std::vector<std::string> aggs;
+      for (const auto& agg : node.aggregates()) {
+        aggs.push_back(std::string(AggKindName(agg.kind)) + "(" +
+                       agg.input_name + ")->" + agg.name);
+      }
+      std::sort(aggs.begin(), aggs.end());
+      return "Agg{[" + Join(groups, ",") + "];[" + Join(aggs, ",") + "]}(" +
+             CanonicalKey(*node.child(0)) + ")";
+    }
+  }
+  return "?";
+}
+
+uint64_t CanonicalHash(const PlanNode& node) {
+  return std::hash<std::string>{}(CanonicalKey(node));
+}
+
+bool PlansEquivalent(const PlanNode& a, const PlanNode& b) {
+  return CanonicalKey(a) == CanonicalKey(b);
+}
+
+}  // namespace autoview

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <string>
+
+#include "plan/plan.h"
+
+namespace autoview {
+
+/// \brief Canonical-form utilities standing in for EQUITAS [45].
+///
+/// EQUITAS decides subquery equivalence with SMT + symbolic execution.
+/// For the SPJA fragment this engine supports, semantic equivalence is
+/// decided by comparing canonical keys that normalize away:
+///   * conjunct/disjunct order inside AND/OR predicates,
+///   * comparison orientation (EQ(5, x) == EQ(x, 5); GT(a, b) == LT(b, a)),
+///   * join child order (inner joins commute),
+///   * projection and aggregate item order (columns are matched by name).
+///
+/// Two plans with equal canonical keys produce identical multisets of
+/// named output columns.
+///
+/// Returns a canonical string key for the plan rooted at `node`.
+std::string CanonicalKey(const PlanNode& node);
+
+/// 64-bit hash of CanonicalKey (cheap map key).
+uint64_t CanonicalHash(const PlanNode& node);
+
+/// Canonical rendering of an expression, with the normalizations above.
+/// Column references are rendered by name.
+std::string CanonicalExprKey(const Expr& expr);
+
+/// True iff the two plans are semantically equivalent under the
+/// canonicalization rules above.
+bool PlansEquivalent(const PlanNode& a, const PlanNode& b);
+
+}  // namespace autoview

@@ -1,0 +1,188 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "plan/expr.h"
+#include "util/status.h"
+
+namespace autoview {
+
+/// \brief Logical plan operators (Fig. 2's plan vocabulary, plus the
+/// Sort/Limit/Distinct tail operators of the extended SQL fragment).
+enum class PlanOp {
+  kTableScan,
+  kFilter,
+  kProject,
+  kJoin,
+  kAggregate,
+  kSort,
+  kLimit,
+  kDistinct,
+};
+
+/// Display name ("Scan", "Filter", "Project", "Join", "Aggregate").
+const char* PlanOpName(PlanOp op);
+
+/// \brief Aggregate function kinds.
+enum class AggKind { kCountStar, kCount, kSum, kMin, kMax, kAvg };
+
+const char* AggKindName(AggKind kind);
+
+/// \brief One output column of a plan node.
+struct OutputColumn {
+  std::string name;
+  ColumnType type = ColumnType::kInt64;
+
+  bool operator==(const OutputColumn&) const = default;
+};
+
+/// \brief One projection item: a scalar expression and its output name.
+struct ProjectItem {
+  ExprPtr expr;  // column or literal
+  std::string name;
+};
+
+/// \brief One aggregate item.
+struct AggItem {
+  AggKind kind = AggKind::kCountStar;
+  std::optional<size_t> input_column;  // none for COUNT(*)
+  std::string input_name;              // display name of the input column
+  std::string name;                    // output column name
+};
+
+/// \brief One ORDER BY key (column index into the child's output).
+struct SortKey {
+  size_t column = 0;
+  bool descending = false;
+
+  bool operator==(const SortKey&) const = default;
+};
+
+class PlanNode;
+using PlanNodePtr = std::shared_ptr<const PlanNode>;
+
+/// \brief An immutable logical plan node.
+///
+/// Nodes are constructed through the Make* factories, which validate the
+/// inputs and compute the output schema. Subtrees are shared (plans form
+/// DAGs in memory but are treated as trees).
+class PlanNode {
+ public:
+  PlanOp op() const { return op_; }
+  const std::vector<PlanNodePtr>& children() const { return children_; }
+  const PlanNodePtr& child(size_t i) const { return children_[i]; }
+  const std::vector<OutputColumn>& output() const { return output_; }
+  size_t num_output_columns() const { return output_.size(); }
+
+  // Operator-specific accessors (valid only for the matching op()).
+  const std::string& table() const { return table_; }
+  const ExprPtr& predicate() const { return predicate_; }
+  const std::vector<ProjectItem>& projections() const { return projections_; }
+  const ExprPtr& join_condition() const { return predicate_; }
+  const std::vector<size_t>& group_by() const { return group_by_; }
+  const std::vector<AggItem>& aggregates() const { return aggregates_; }
+  const std::vector<SortKey>& sort_keys() const { return sort_keys_; }
+  int64_t limit() const { return limit_; }
+
+  // --- Factories --------------------------------------------------------
+
+  /// Scan of a catalog table.
+  static Result<PlanNodePtr> MakeScan(const Catalog& catalog,
+                                      const std::string& table);
+
+  /// Filter with a boolean predicate over the child's output.
+  static Result<PlanNodePtr> MakeFilter(PlanNodePtr child, ExprPtr predicate);
+
+  /// Projection; expressions reference the child's output columns.
+  static Result<PlanNodePtr> MakeProject(PlanNodePtr child,
+                                         std::vector<ProjectItem> items);
+
+  /// Inner join; `condition` references the concatenated (left ++ right)
+  /// output columns. Duplicate output names are disambiguated with
+  /// positional suffixes (user_id -> user_id_2).
+  static Result<PlanNodePtr> MakeJoin(PlanNodePtr left, PlanNodePtr right,
+                                      ExprPtr condition);
+
+  /// Hash aggregation over the child's output.
+  static Result<PlanNodePtr> MakeAggregate(PlanNodePtr child,
+                                           std::vector<size_t> group_by,
+                                           std::vector<AggItem> aggregates);
+
+  /// Total-order sort by `keys` (ties broken by the full row, so the
+  /// output order is independent of input order).
+  static Result<PlanNodePtr> MakeSort(PlanNodePtr child,
+                                      std::vector<SortKey> keys);
+
+  /// First `limit` rows of the child.
+  static Result<PlanNodePtr> MakeLimit(PlanNodePtr child, int64_t limit);
+
+  /// Duplicate elimination over the full row.
+  static Result<PlanNodePtr> MakeDistinct(PlanNodePtr child);
+
+  // --- Inspection -------------------------------------------------------
+
+  /// Multi-line indented rendering in the style of Fig. 2:
+  ///   Aggregate(group=[{user_id_1}],cnt=[COUNT()])
+  ///     Join(condition=[EQ(user_id_1, user_id_2)], joinType=[inner])
+  ///     ...
+  std::string ToString() const;
+
+  /// Single-operator header line (no children).
+  std::string OperatorString() const;
+
+  /// This operator's Fig. 4 feature token sequence, e.g.
+  /// [Filter, AND, EQ, dt, '1010', EQ, memo_type, 'pen'].
+  std::vector<std::string> FeatureTokens() const;
+
+  /// The whole plan as a pre-order sequence of operator token sequences
+  /// (the two-dimensional sequence of §IV-A).
+  std::vector<std::vector<std::string>> FeatureSequence() const;
+
+  /// Pre-order list of all subtree roots (this node first).
+  std::vector<PlanNodePtr> Subtrees() const;
+
+  /// Structural hash of the subtree rooted here.
+  uint64_t Hash() const;
+
+  /// Deep structural equality.
+  bool Equals(const PlanNode& other) const;
+
+  /// Names of all base tables scanned in this subtree (sorted, deduped).
+  std::vector<std::string> ScannedTables() const;
+
+  /// Number of operators in the subtree.
+  size_t NumOperators() const;
+
+  /// Height of the subtree (a single Scan has height 1).
+  size_t Height() const;
+
+ private:
+  PlanNode() = default;
+
+  static void CollectSubtrees(const PlanNodePtr& node,
+                              std::vector<PlanNodePtr>* out);
+
+  PlanOp op_ = PlanOp::kTableScan;
+  std::string table_;
+  ExprPtr predicate_;  // filter predicate or join condition
+  std::vector<ProjectItem> projections_;
+  std::vector<size_t> group_by_;
+  std::vector<AggItem> aggregates_;
+  std::vector<SortKey> sort_keys_;
+  int64_t limit_ = -1;
+  std::vector<PlanNodePtr> children_;
+  std::vector<OutputColumn> output_;
+  mutable uint64_t cached_hash_ = 0;
+
+  friend class PlanBuilderAccess;
+};
+
+/// Returns true iff the two plans share at least one common subtree —
+/// the paper's Definition 5 of overlapping subqueries.
+bool PlansOverlap(const PlanNode& a, const PlanNode& b);
+
+}  // namespace autoview

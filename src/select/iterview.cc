@@ -1,0 +1,153 @@
+#include "select/iterview.h"
+
+#include <algorithm>
+
+namespace autoview {
+
+namespace internal {
+
+namespace {
+
+/// Workload-level aggregates used by Eq. 3, computed once per Z-Opt pass.
+struct Aggregates {
+  double o_max = 0.0;        ///< sum of all overheads
+  double o_cur = 0.0;        ///< overhead of currently selected views
+  double b_cur_total = 0.0;  ///< sum of current per-view benefits
+  double b_max_total = 0.0;  ///< sum of maximum per-view benefits
+  std::vector<double> max_benefit;
+};
+
+Aggregates ComputeAggregates(const MvsProblem& problem,
+                             const std::vector<double>& b_cur,
+                             const std::vector<bool>& z) {
+  Aggregates agg;
+  const size_t nz = problem.num_views();
+  agg.max_benefit.resize(nz);
+  for (size_t k = 0; k < nz; ++k) {
+    agg.max_benefit[k] = problem.MaxBenefit(k);
+    agg.o_max += problem.overhead[k];
+    if (z[k]) agg.o_cur += problem.overhead[k];
+    agg.b_cur_total += b_cur[k];
+    agg.b_max_total += agg.max_benefit[k];
+  }
+  return agg;
+}
+
+double FlipProbabilityWith(const MvsProblem& problem, const Aggregates& agg,
+                           const std::vector<double>& b_cur, size_t j,
+                           const std::vector<bool>& z) {
+  const double o_j = std::max(problem.overhead[j], 1e-12);
+  double p_overhead, p_benefit;
+  if (z[j]) {
+    // Selected view: flip-prone when it is expensive relative to the
+    // currently selected set and contributes little current benefit.
+    p_overhead = agg.o_cur > 0 ? o_j / agg.o_cur : 1.0;
+    p_benefit =
+        agg.b_cur_total > 0 ? 1.0 - b_cur[j] / agg.b_cur_total : 1.0;
+  } else {
+    // Unselected view: flip-prone when overhead headroom remains and its
+    // benefit-per-overhead beats the global average.
+    p_overhead = agg.o_max > 0 ? 1.0 - agg.o_cur / agg.o_max : 0.0;
+    const double global_rate =
+        agg.o_max > 0 ? agg.b_max_total / agg.o_max : 0.0;
+    p_benefit =
+        global_rate > 0 ? (agg.max_benefit[j] / o_j) / global_rate : 0.0;
+  }
+  p_overhead = std::clamp(p_overhead, 0.0, 1.0);
+  p_benefit = std::clamp(p_benefit, 0.0, 1.0);
+  return p_overhead * p_benefit;
+}
+
+}  // namespace
+
+double FlipProbability(const MvsProblem& problem,
+                       const std::vector<double>& b_cur, size_t j,
+                       const std::vector<bool>& z) {
+  return FlipProbabilityWith(problem, ComputeAggregates(problem, b_cur, z),
+                             b_cur, j, z);
+}
+
+void ZOptStep(const MvsProblem& problem, const std::vector<double>& b_cur,
+              double tau, bool frozen, std::vector<bool>* z) {
+  const Aggregates agg = ComputeAggregates(problem, b_cur, *z);
+  for (size_t j = 0; j < z->size(); ++j) {
+    if (frozen && (*z)[j]) continue;  // BigSub: selected stays selected
+    if (FlipProbabilityWith(problem, agg, b_cur, j, *z) >= tau) {
+      (*z)[j] = !(*z)[j];
+    }
+  }
+}
+
+}  // namespace internal
+
+IterViewSelector IterViewSelector::IterView(size_t iterations, uint64_t seed) {
+  Options options;
+  options.iterations = iterations;
+  options.seed = seed;
+  return IterViewSelector(options);
+}
+
+IterViewSelector IterViewSelector::BigSub(size_t iterations, uint64_t seed) {
+  Options options;
+  options.iterations = iterations;
+  options.freeze_selected_after = iterations / 2;
+  options.seed = seed;
+  return IterViewSelector(options);
+}
+
+Result<MvsSolution> IterViewSelector::Select(const MvsProblem& problem) {
+  AV_RETURN_NOT_OK(problem.Validate());
+  trace_.clear();
+  Rng rng(options_.seed);
+  const size_t nz = problem.num_views();
+  const size_t nq = problem.num_queries();
+  YOptSolver yopt(&problem);
+
+  // Random initialization of Z and Y (function IterView, lines 3-9).
+  std::vector<bool> z(nz);
+  for (size_t j = 0; j < nz; ++j) z[j] = rng.Bernoulli(0.5);
+  std::vector<std::vector<bool>> y(nq, std::vector<bool>(nz, false));
+  for (size_t i = 0; i < nq; ++i) {
+    for (size_t j = 0; j < nz; ++j) {
+      if (!z[j] || problem.benefit[i][j] <= 0) continue;
+      bool conflict = false;
+      for (size_t k = 0; k < nz && !conflict; ++k) {
+        conflict = k != j && y[i][k] && problem.overlap[j][k];
+      }
+      if (!conflict) y[i][j] = rng.Bernoulli(0.5);
+    }
+  }
+
+  MvsSolution best;
+  best.z = z;
+  best.y = y;
+  best.utility = EvaluateUtility(problem, z, y);
+  trace_.push_back(best.utility);
+
+  std::vector<double> b_cur(nz, 0.0);
+  for (size_t iter = 0; iter < options_.iterations; ++iter) {
+    // Current benefit per view under y.
+    std::fill(b_cur.begin(), b_cur.end(), 0.0);
+    for (size_t i = 0; i < nq; ++i) {
+      for (size_t j = 0; j < nz; ++j) {
+        if (y[i][j] && problem.benefit[i][j] > 0) {
+          b_cur[j] += problem.benefit[i][j];
+        }
+      }
+    }
+    const double tau = rng.Uniform01();
+    const bool frozen = iter >= options_.freeze_selected_after;
+    internal::ZOptStep(problem, b_cur, tau, frozen, &z);
+    y = yopt.SolveAll(z);
+    const double utility = EvaluateUtility(problem, z, y);
+    trace_.push_back(utility);
+    if (utility > best.utility) {
+      best.z = z;
+      best.y = y;
+      best.utility = utility;
+    }
+  }
+  return best;
+}
+
+}  // namespace autoview

@@ -1,0 +1,65 @@
+#pragma once
+
+#include "select/selector.h"
+#include "util/random.h"
+
+namespace autoview {
+
+/// \brief The paper's IterView function (§V-A2): randomized iterative
+/// optimization alternating Z-Opt (probabilistic flips, Eq. 3) and the
+/// exact per-query Y-Opt.
+///
+/// With `freeze_selected_after` set, a selected view can no longer be
+/// unselected once that many iterations have elapsed — this is exactly
+/// the convergence hack of BigSub [20], which the paper criticizes for
+/// degenerating into a greedy method. The factory functions below
+/// configure the two variants.
+class IterViewSelector : public ViewSelector {
+ public:
+  struct Options {
+    size_t iterations = 100;                 ///< n (or n1 inside RLView)
+    size_t freeze_selected_after = SIZE_MAX; ///< BigSub threshold
+    uint64_t seed = 42;
+  };
+
+  explicit IterViewSelector(Options options)
+      : options_(options), is_bigsub_(options.freeze_selected_after !=
+                                      SIZE_MAX) {}
+
+  /// IterView as in the paper (no freezing; oscillates, Fig. 10).
+  static IterViewSelector IterView(size_t iterations, uint64_t seed = 42);
+
+  /// BigSub [20]: freezing kicks in after half the iterations.
+  static IterViewSelector BigSub(size_t iterations, uint64_t seed = 42);
+
+  Result<MvsSolution> Select(const MvsProblem& problem) override;
+  std::string name() const override {
+    return is_bigsub_ ? "BigSub" : "IterView";
+  }
+
+  /// The best (z, y) seen across iterations — IterView oscillates, so
+  /// the final state is not necessarily the best one. Select() returns
+  /// this best solution; the per-iteration trace shows the raw path.
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  bool is_bigsub_;
+};
+
+namespace internal {
+
+/// One Z-Opt pass (Eq. 3): flips each z_j with probability
+/// p_flip = p_overhead * p_benefit compared against threshold tau.
+/// Exposed for unit testing. `frozen` disables 1->0 flips (BigSub).
+void ZOptStep(const MvsProblem& problem, const std::vector<double>& b_cur,
+              double tau, bool frozen, std::vector<bool>* z);
+
+/// The flip probability of Eq. 3 for view j.
+double FlipProbability(const MvsProblem& problem,
+                       const std::vector<double>& b_cur, size_t j,
+                       const std::vector<bool>& z);
+
+}  // namespace internal
+
+}  // namespace autoview

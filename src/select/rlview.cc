@@ -1,0 +1,273 @@
+#include "select/rlview.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace autoview {
+
+namespace {
+
+using nn::Tensor;
+
+/// One replay-memory entry: the full (|Z| x dim) action-feature matrix
+/// of the state, the chosen action, the reward, and the successor
+/// state's feature matrix (for the max_a Q(e', a) target).
+struct Transition {
+  std::vector<nn::Scalar> state_actions;
+  size_t action = 0;
+  double reward = 0.0;
+  std::vector<nn::Scalar> next_actions;
+  size_t num_actions = 0;
+};
+
+/// Q network: the paper's plain 16/64/16/1 MLP, optionally with the
+/// dueling decomposition Q = V(e) + A(e,a) - mean_a A(e,a).
+class QNet {
+ public:
+  QNet(size_t feature_dim, bool dueling, Rng* rng)
+      : dueling_(dueling),
+        advantage_({feature_dim, 16, 64, 16, 1}, rng),
+        value_({feature_dim, 16, 16, 1}, rng) {}
+
+  /// (n x dim) action features -> (n x 1) Q values (differentiable).
+  Tensor ForwardAll(const std::vector<nn::Scalar>& phis, size_t n,
+                    size_t feature_dim) const {
+    Tensor x = Tensor::FromData(phis, n, feature_dim);
+    Tensor a = advantage_.Forward(x);  // n x 1
+    if (!dueling_) return a;
+    Tensor mean_a = MeanRows(a);                    // 1 x 1
+    Tensor v = value_.Forward(MeanRows(x));         // 1 x 1
+    return Add(Add(a, Scale(mean_a, -1.0)), v);     // broadcast over rows
+  }
+
+  std::vector<double> Values(const std::vector<nn::Scalar>& phis, size_t n,
+                             size_t feature_dim) const {
+    Tensor q = ForwardAll(phis, n, feature_dim);
+    return std::vector<double>(q.data().begin(), q.data().end());
+  }
+
+  std::vector<Tensor> Parameters() const {
+    std::vector<Tensor> params = advantage_.Parameters();
+    if (dueling_) {
+      for (const auto& p : value_.Parameters()) params.push_back(p);
+    }
+    return params;
+  }
+
+  void CopyFrom(const QNet& other) {
+    advantage_.CopyFrom(other.advantage_);
+    value_.CopyFrom(other.value_);
+  }
+
+ private:
+  bool dueling_;
+  nn::Mlp advantage_;
+  nn::Mlp value_;
+};
+
+}  // namespace
+
+std::vector<nn::Scalar> RLViewSelector::ActionFeatures(
+    const MvsProblem& problem, const std::vector<bool>& z,
+    const std::vector<double>& b_cur, double utility_norm, size_t j) const {
+  // Kept for interface completeness; Select() uses the batched builder.
+  double o_max = 0.0, o_cur = 0.0, b_max_total = 0.0, b_cur_total = 0.0;
+  for (size_t k = 0; k < problem.num_views(); ++k) {
+    o_max += problem.overhead[k];
+    if (z[k]) o_cur += problem.overhead[k];
+    b_cur_total += b_cur[k];
+    b_max_total += problem.MaxBenefit(k);
+  }
+  size_t overlap_degree = 0;
+  for (size_t k = 0; k < problem.num_views(); ++k) {
+    if (problem.overlap[j][k]) ++overlap_degree;
+  }
+  const double nz = static_cast<double>(problem.num_views());
+  return {
+      z[j] ? 1.0 : 0.0,
+      problem.overhead[j] / std::max(o_max, 1e-12),
+      problem.MaxBenefit(j) / std::max(b_max_total, 1e-12),
+      b_cur[j] / std::max(b_cur_total, 1e-12),
+      static_cast<double>(overlap_degree) / std::max(nz, 1.0),
+      utility_norm,
+      o_cur / std::max(o_max, 1e-12),
+      1.0,
+  };
+}
+
+Result<MvsSolution> RLViewSelector::Select(const MvsProblem& problem) {
+  AV_RETURN_NOT_OK(problem.Validate());
+  trace_.clear();
+  const size_t nz = problem.num_views();
+  const size_t nq = problem.num_queries();
+  if (nz == 0) {
+    MvsSolution empty;
+    empty.y.assign(nq, {});
+    return empty;
+  }
+  YOptSolver yopt(&problem);
+  Rng rng(options_.seed);
+
+  // Warm start: Z0, Y0 <- IterView (Algorithm 2, line 2).
+  IterViewSelector warm =
+      IterViewSelector::IterView(options_.init_iterations, options_.seed);
+  AV_ASSIGN_OR_RETURN(MvsSolution state, warm.Select(problem));
+  for (double u : warm.utility_trace()) trace_.push_back(u);
+  MvsSolution best = state;
+
+  // Per-problem invariants, cached once.
+  std::vector<double> max_benefit(nz), overlap_degree(nz);
+  double o_max = 0.0, b_max_total = 0.0;
+  for (size_t j = 0; j < nz; ++j) {
+    max_benefit[j] = problem.MaxBenefit(j);
+    b_max_total += max_benefit[j];
+    o_max += problem.overhead[j];
+    size_t degree = 0;
+    for (size_t k = 0; k < nz; ++k) degree += problem.overlap[j][k];
+    overlap_degree[j] =
+        static_cast<double>(degree) / static_cast<double>(nz);
+  }
+  const double utility_scale = std::max(b_max_total, 1e-12);
+
+  // DQN mu(e|theta) (§V-B2) and the optional frozen target network.
+  QNet dqn(kFeatureDim, options_.dueling, &rng);
+  QNet target_net(kFeatureDim, options_.dueling, &rng);
+  target_net.CopyFrom(dqn);
+  const bool use_target = options_.target_sync_every > 0;
+  size_t train_steps = 0;
+  nn::Adam::Options adam_opts;
+  adam_opts.lr = options_.learning_rate;
+  nn::Adam adam(dqn.Parameters(), adam_opts);
+
+  std::deque<Transition> memory;
+  const size_t max_steps =
+      options_.max_steps_per_episode ? options_.max_steps_per_episode : nz;
+
+  auto benefits_of = [&](const std::vector<std::vector<bool>>& y) {
+    std::vector<double> b_cur(nz, 0.0);
+    for (size_t i = 0; i < nq; ++i) {
+      for (size_t j = 0; j < nz; ++j) {
+        if (y[i][j] && problem.benefit[i][j] > 0) {
+          b_cur[j] += problem.benefit[i][j];
+        }
+      }
+    }
+    return b_cur;
+  };
+  // Row-major (nz x kFeatureDim) feature matrix for all actions.
+  auto features_of = [&](const std::vector<bool>& z,
+                         const std::vector<double>& b_cur, double utility) {
+    const double utility_norm = utility / utility_scale;
+    double o_cur = 0.0, b_cur_total = 0.0;
+    for (size_t k = 0; k < nz; ++k) {
+      if (z[k]) o_cur += problem.overhead[k];
+      b_cur_total += b_cur[k];
+    }
+    std::vector<nn::Scalar> phis(nz * kFeatureDim);
+    for (size_t j = 0; j < nz; ++j) {
+      nn::Scalar* row = &phis[j * kFeatureDim];
+      row[0] = z[j] ? 1.0 : 0.0;
+      row[1] = problem.overhead[j] / std::max(o_max, 1e-12);
+      row[2] = max_benefit[j] / std::max(b_max_total, 1e-12);
+      row[3] = b_cur[j] / std::max(b_cur_total, 1e-12);
+      row[4] = overlap_degree[j];
+      row[5] = utility_norm;
+      row[6] = o_cur / std::max(o_max, 1e-12);
+      row[7] = 1.0;
+    }
+    return phis;
+  };
+
+  for (size_t episode = 0; episode < options_.episodes; ++episode) {
+    // Linearly decaying exploration: explore early, exploit late.
+    const double epsilon =
+        options_.epsilon *
+        (1.0 - static_cast<double>(episode) /
+                   static_cast<double>(std::max<size_t>(1, options_.episodes)));
+    // Every episode restarts from the warm-start state (line 6).
+    std::vector<bool> z = state.z;
+    std::vector<std::vector<bool>> y = state.y;
+    double utility = EvaluateUtility(problem, z, y);
+    std::vector<double> b_cur = benefits_of(y);
+    std::vector<nn::Scalar> phis = features_of(z, b_cur, utility);
+
+    size_t t = 0;
+    double reward = 0.0;
+    do {
+      // Action selection: argmax_j Q(e_t)[j], epsilon-greedy.
+      size_t action;
+      if (rng.Bernoulli(epsilon)) {
+        action = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(nz) - 1));
+      } else {
+        std::vector<double> q = dqn.Values(phis, nz, kFeatureDim);
+        action = static_cast<size_t>(
+            std::max_element(q.begin(), q.end()) - q.begin());
+      }
+
+      // Environment step: flip z_a, re-solve Y with the ILP solver.
+      // Only queries that can use view `action` are affected, so the
+      // per-query exact Y-Opt is re-run incrementally.
+      z[action] = !z[action];
+      for (size_t i = 0; i < nq; ++i) {
+        if (problem.benefit[i][action] == 0.0) continue;
+        y[i] = yopt.SolveQuery(i, z);
+      }
+      const double next_utility = EvaluateUtility(problem, z, y);
+      reward = next_utility - utility;
+
+      b_cur = benefits_of(y);
+      std::vector<nn::Scalar> next_phis = features_of(z, b_cur, next_utility);
+
+      Transition transition;
+      transition.state_actions = phis;
+      transition.action = action;
+      transition.reward = reward;
+      transition.next_actions = next_phis;
+      transition.num_actions = nz;
+      memory.push_back(std::move(transition));
+      if (memory.size() > options_.memory_capacity) memory.pop_front();
+
+      utility = next_utility;
+      phis = std::move(next_phis);
+      trace_.push_back(utility);
+      if (utility > best.utility) {
+        best.z = z;
+        best.y = y;
+        best.utility = utility;
+      }
+
+      // Fine-tune the DQN once the replay memory is warm (line 16).
+      if (memory.size() >= options_.min_memory) {
+        adam.ZeroGrad();
+        std::vector<Tensor> preds, targets;
+        for (size_t b = 0; b < options_.batch_size; ++b) {
+          const Transition& tr = memory[static_cast<size_t>(rng.UniformInt(
+              0, static_cast<int64_t>(memory.size()) - 1))];
+          const QNet& bootstrap = use_target ? target_net : dqn;
+          std::vector<double> next_q =
+              bootstrap.Values(tr.next_actions, tr.num_actions, kFeatureDim);
+          const double target =
+              tr.reward +
+              options_.gamma * *std::max_element(next_q.begin(), next_q.end());
+          Tensor q_all =
+              dqn.ForwardAll(tr.state_actions, tr.num_actions, kFeatureDim);
+          preds.push_back(SelectRow(q_all, tr.action));
+          targets.push_back(Tensor::Full(1, 1, target));
+        }
+        MseLoss(nn::ConcatRows(preds), nn::ConcatRows(targets)).Backward();
+        adam.Step();
+        ++train_steps;
+        if (use_target && train_steps % options_.target_sync_every == 0) {
+          target_net.CopyFrom(dqn);
+        }
+      }
+      ++t;
+      // Paper termination: continue while t < |Z| or the last reward was
+      // positive; a hard cap bounds pathological positive-reward chains.
+    } while ((t < max_steps || reward > 0.0) && t < 4 * max_steps);
+  }
+  return best;
+}
+
+}  // namespace autoview

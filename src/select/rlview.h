@@ -1,0 +1,66 @@
+#pragma once
+
+#include <deque>
+#include <memory>
+
+#include "nn/modules.h"
+#include "nn/optimizer.h"
+#include "select/iterview.h"
+#include "select/selector.h"
+
+namespace autoview {
+
+/// \brief RLView (Algorithm 2): the ILP optimization process modeled as
+/// an MDP and solved with a DQN.
+///
+/// State e = (Z, Y); action = flip one z_j; environment = the exact
+/// Y-Opt solver; reward = utility change. The Q network is the paper's
+/// four fully-connected layers with 16/64/16/1 neurons (ReLU). Each
+/// candidate action is scored from an 8-dim feature vector of (state,
+/// action), experience tuples go into a replay memory, and the network
+/// is fine-tuned with the one-step Q-learning target
+/// Q'(e_t, a_t) = r_t + gamma * max_a Q(e_{t+1}, a).
+class RLViewSelector : public ViewSelector {
+ public:
+  struct Options {
+    size_t init_iterations = 10;   ///< n1: IterView warm start
+    size_t episodes = 30;          ///< n2: RL epochs
+    size_t max_steps_per_episode = 0;  ///< 0 = |Z| (the paper's bound)
+    size_t memory_capacity = 512;  ///< replay memory size
+    size_t min_memory = 32;        ///< n_m: fine-tune once this full
+    size_t batch_size = 16;
+    double gamma = 0.9;            ///< reward decay rate (Table II)
+    double epsilon = 0.05;         ///< exploration rate (decays linearly)
+    double learning_rate = 1e-3;
+    uint64_t seed = 42;
+
+    /// Sync a frozen target network for the max_a Q(e',a) term every
+    /// `target_sync_every` training steps (0 = no target network; the
+    /// paper's plain DQN). Stabilizes bootstrapping.
+    size_t target_sync_every = 0;
+
+    /// Dueling architecture [42, cited by the paper]: Q(e,a) =
+    /// V(e) + A(e,a) - mean_a A(e,a), with separate value/advantage
+    /// heads. Off by default (the paper's network is a plain MLP).
+    bool dueling = false;
+  };
+
+  explicit RLViewSelector(Options options) : options_(options) {}
+  RLViewSelector() : RLViewSelector(Options{}) {}
+
+  Result<MvsSolution> Select(const MvsProblem& problem) override;
+  std::string name() const override { return "RLView"; }
+
+ private:
+  static constexpr size_t kFeatureDim = 8;
+
+  /// Feature vector phi(e, a_j) for flipping z_j in state (z, b_cur).
+  std::vector<nn::Scalar> ActionFeatures(const MvsProblem& problem,
+                                         const std::vector<bool>& z,
+                                         const std::vector<double>& b_cur,
+                                         double utility_norm, size_t j) const;
+
+  Options options_;
+};
+
+}  // namespace autoview

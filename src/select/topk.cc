@@ -1,0 +1,76 @@
+#include <algorithm>
+#include <numeric>
+
+#include "select/selector.h"
+
+namespace autoview {
+
+const char* TopkStrategyName(TopkStrategy strategy) {
+  switch (strategy) {
+    case TopkStrategy::kFrequency:
+      return "TopkFreq";
+    case TopkStrategy::kOverhead:
+      return "TopkOver";
+    case TopkStrategy::kBenefit:
+      return "TopkBen";
+    case TopkStrategy::kNormalized:
+      return "TopkNorm";
+  }
+  return "?";
+}
+
+std::vector<size_t> TopkSelector::Ranking(const MvsProblem& problem) const {
+  std::vector<size_t> order(problem.num_views());
+  std::iota(order.begin(), order.end(), size_t{0});
+  auto score = [&](size_t j) -> double {
+    switch (strategy_) {
+      case TopkStrategy::kFrequency:
+        return j < problem.frequency.size()
+                   ? static_cast<double>(problem.frequency[j])
+                   : 0.0;
+      case TopkStrategy::kOverhead:
+        return -problem.overhead[j];  // smaller overhead ranks higher
+      case TopkStrategy::kBenefit:
+        return problem.MaxBenefit(j);
+      case TopkStrategy::kNormalized: {
+        const double overhead = std::max(problem.overhead[j], 1e-12);
+        return (problem.MaxBenefit(j) - overhead) / overhead;
+      }
+    }
+    return 0.0;
+  };
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return score(a) > score(b);
+  });
+  return order;
+}
+
+Result<MvsSolution> TopkSelector::Select(const MvsProblem& problem) {
+  AV_RETURN_NOT_OK(problem.Validate());
+  trace_.clear();
+  std::vector<size_t> order = Ranking(problem);
+  MvsSolution solution;
+  solution.z.assign(problem.num_views(), false);
+  for (size_t p = 0; p < k_ && p < order.size(); ++p) {
+    solution.z[order[p]] = true;
+  }
+  YOptSolver yopt(&problem);
+  solution.y = yopt.SolveAll(solution.z);
+  solution.utility = EvaluateUtility(problem, solution.z, solution.y);
+  trace_.push_back(solution.utility);
+  return solution;
+}
+
+std::vector<double> TopkUtilityCurve(const MvsProblem& problem,
+                                     TopkStrategy strategy, size_t step) {
+  std::vector<double> curve;
+  TopkSelector selector(strategy, 0);
+  for (size_t k = 0; k <= problem.num_views(); k += std::max<size_t>(1, step)) {
+    selector.set_k(k);
+    auto result = selector.Select(problem);
+    curve.push_back(result.ok() ? result.value().utility : 0.0);
+  }
+  return curve;
+}
+
+}  // namespace autoview

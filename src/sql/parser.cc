@@ -1,0 +1,284 @@
+#include "sql/parser.h"
+
+#include <cstdlib>
+
+#include "sql/token.h"
+
+namespace autoview {
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::shared_ptr<SelectStmt>> ParseStatement() {
+    auto stmt = ParseSelectStmt();
+    if (!stmt.ok()) return stmt;
+    if (Peek().type != TokenType::kEnd) {
+      return Error("unexpected trailing token '" + Peek().text + "'");
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool Accept(const char* kw) {
+    if (Peek().IsKeyword(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool AcceptSymbol(const char* sym) {
+    if (Peek().IsSymbol(sym)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(msg + " (at offset " +
+                              std::to_string(Peek().offset) + ")");
+  }
+
+  Result<std::shared_ptr<SelectStmt>> ParseSelectStmt() {
+    if (!Accept("SELECT")) return Error("expected SELECT");
+    auto stmt = std::make_shared<SelectStmt>();
+    stmt->distinct = Accept("DISTINCT");
+    do {
+      SelectItem item;
+      AV_ASSIGN_OR_RETURN(item.expr, ParseSelectExpr());
+      if (Accept("AS")) {
+        if (Peek().type != TokenType::kIdentifier) {
+          return Error("expected alias after AS");
+        }
+        item.alias = Advance().text;
+      } else if (Peek().type == TokenType::kIdentifier) {
+        item.alias = Advance().text;
+      }
+      stmt->items.push_back(std::move(item));
+    } while (AcceptSymbol(","));
+
+    if (!Accept("FROM")) return Error("expected FROM");
+    AV_ASSIGN_OR_RETURN(stmt->from, ParseTableRef());
+    while (true) {
+      const bool inner = Accept("INNER");
+      if (!Accept("JOIN")) {
+        if (inner) return Error("expected JOIN after INNER");
+        break;
+      }
+      JoinClause join;
+      AV_ASSIGN_OR_RETURN(join.right, ParseTableRef());
+      if (!Accept("ON")) return Error("expected ON in join clause");
+      AV_ASSIGN_OR_RETURN(join.condition, ParseOr());
+      stmt->joins.push_back(std::move(join));
+    }
+    if (Accept("WHERE")) {
+      AV_ASSIGN_OR_RETURN(stmt->where, ParseOr());
+    }
+    if (Accept("GROUP")) {
+      if (!Accept("BY")) return Error("expected BY after GROUP");
+      do {
+        AV_ASSIGN_OR_RETURN(auto col, ParseColumnRef());
+        stmt->group_by.push_back(std::move(col));
+      } while (AcceptSymbol(","));
+    }
+    if (Accept("ORDER")) {
+      if (!Accept("BY")) return Error("expected BY after ORDER");
+      do {
+        OrderKey key;
+        AV_ASSIGN_OR_RETURN(key.column, ParseColumnRef());
+        if (Accept("DESC")) {
+          key.descending = true;
+        } else {
+          Accept("ASC");
+        }
+        stmt->order_by.push_back(std::move(key));
+      } while (AcceptSymbol(","));
+    }
+    if (Accept("LIMIT")) {
+      if (Peek().type != TokenType::kIntLiteral) {
+        return Error("expected integer after LIMIT");
+      }
+      stmt->limit = std::atoll(Advance().text.c_str());
+    }
+    return stmt;
+  }
+
+  Result<TableRef> ParseTableRef() {
+    TableRef ref;
+    if (AcceptSymbol("(")) {
+      AV_ASSIGN_OR_RETURN(ref.subquery, ParseSelectStmt());
+      if (!AcceptSymbol(")")) return Error("expected ) after subquery");
+    } else if (Peek().type == TokenType::kIdentifier) {
+      ref.table = Advance().text;
+    } else {
+      return Error("expected table name or subquery");
+    }
+    if (Accept("AS")) {
+      if (Peek().type != TokenType::kIdentifier) {
+        return Error("expected alias after AS");
+      }
+      ref.alias = Advance().text;
+    } else if (Peek().type == TokenType::kIdentifier) {
+      ref.alias = Advance().text;
+    }
+    if (ref.is_subquery() && ref.alias.empty()) {
+      return Error("derived table requires an alias");
+    }
+    return ref;
+  }
+
+  /// Select-list entry: *, aggregate call, or column ref.
+  Result<AstExprPtr> ParseSelectExpr() {
+    if (Peek().IsSymbol("*")) {
+      Advance();
+      auto e = std::make_shared<AstExpr>();
+      e->kind = AstExprKind::kStar;
+      return e;
+    }
+    if (IsAggKeyword(Peek())) return ParseAggCall();
+    return ParseColumnRef();
+  }
+
+  static bool IsAggKeyword(const Token& t) {
+    return t.IsKeyword("COUNT") || t.IsKeyword("SUM") || t.IsKeyword("MIN") ||
+           t.IsKeyword("MAX") || t.IsKeyword("AVG");
+  }
+
+  Result<AstExprPtr> ParseAggCall() {
+    auto e = std::make_shared<AstExpr>();
+    e->kind = AstExprKind::kAggCall;
+    e->op = Advance().text;  // COUNT / SUM / ...
+    if (!AcceptSymbol("(")) return Error("expected ( after aggregate");
+    if (AcceptSymbol("*")) {
+      if (e->op != "COUNT") return Error("only COUNT accepts *");
+    } else {
+      AV_ASSIGN_OR_RETURN(auto col, ParseColumnRef());
+      e->children.push_back(std::move(col));
+    }
+    if (!AcceptSymbol(")")) return Error("expected ) after aggregate");
+    return e;
+  }
+
+  Result<AstExprPtr> ParseColumnRef() {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Error("expected column reference");
+    }
+    auto e = std::make_shared<AstExpr>();
+    e->kind = AstExprKind::kColumnRef;
+    e->name = Advance().text;
+    if (AcceptSymbol(".")) {
+      if (Peek().type != TokenType::kIdentifier) {
+        return Error("expected column after '.'");
+      }
+      e->qualifier = e->name;
+      e->name = Advance().text;
+    }
+    return e;
+  }
+
+  Result<AstExprPtr> ParseOr() {
+    AV_ASSIGN_OR_RETURN(auto left, ParseAnd());
+    if (!Peek().IsKeyword("OR")) return left;
+    auto e = std::make_shared<AstExpr>();
+    e->kind = AstExprKind::kOr;
+    e->children.push_back(std::move(left));
+    while (Accept("OR")) {
+      AV_ASSIGN_OR_RETURN(auto right, ParseAnd());
+      e->children.push_back(std::move(right));
+    }
+    return e;
+  }
+
+  Result<AstExprPtr> ParseAnd() {
+    AV_ASSIGN_OR_RETURN(auto left, ParseNot());
+    if (!Peek().IsKeyword("AND")) return left;
+    auto e = std::make_shared<AstExpr>();
+    e->kind = AstExprKind::kAnd;
+    e->children.push_back(std::move(left));
+    while (Accept("AND")) {
+      AV_ASSIGN_OR_RETURN(auto right, ParseNot());
+      e->children.push_back(std::move(right));
+    }
+    return e;
+  }
+
+  Result<AstExprPtr> ParseNot() {
+    if (Accept("NOT")) {
+      auto e = std::make_shared<AstExpr>();
+      e->kind = AstExprKind::kNot;
+      AV_ASSIGN_OR_RETURN(auto child, ParseNot());
+      e->children.push_back(std::move(child));
+      return e;
+    }
+    if (AcceptSymbol("(")) {
+      AV_ASSIGN_OR_RETURN(auto inner, ParseOr());
+      if (!AcceptSymbol(")")) return Error("expected )");
+      return inner;
+    }
+    return ParseComparison();
+  }
+
+  Result<AstExprPtr> ParseComparison() {
+    AV_ASSIGN_OR_RETURN(auto left, ParseOperand());
+    const Token& t = Peek();
+    if (t.type == TokenType::kSymbol &&
+        (t.text == "=" || t.text == "<" || t.text == ">" || t.text == "<=" ||
+         t.text == ">=" || t.text == "<>")) {
+      auto e = std::make_shared<AstExpr>();
+      e->kind = AstExprKind::kCompare;
+      e->op = Advance().text;
+      e->children.push_back(std::move(left));
+      AV_ASSIGN_OR_RETURN(auto right, ParseOperand());
+      e->children.push_back(std::move(right));
+      return e;
+    }
+    return Error("expected comparison operator");
+  }
+
+  Result<AstExprPtr> ParseOperand() {
+    const Token& t = Peek();
+    auto e = std::make_shared<AstExpr>();
+    switch (t.type) {
+      case TokenType::kIntLiteral:
+        e->kind = AstExprKind::kLiteral;
+        e->literal = Value(static_cast<int64_t>(std::atoll(t.text.c_str())));
+        Advance();
+        return e;
+      case TokenType::kFloatLiteral:
+        e->kind = AstExprKind::kLiteral;
+        e->literal = Value(std::atof(t.text.c_str()));
+        Advance();
+        return e;
+      case TokenType::kStringLiteral:
+        e->kind = AstExprKind::kLiteral;
+        e->literal = Value(t.text);
+        Advance();
+        return e;
+      case TokenType::kIdentifier:
+        return ParseColumnRef();
+      default:
+        return Error("expected literal or column");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::shared_ptr<SelectStmt>> ParseSelect(const std::string& sql) {
+  AV_ASSIGN_OR_RETURN(auto tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+}  // namespace autoview

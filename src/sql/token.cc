@@ -1,0 +1,105 @@
+#include "sql/token.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "util/strings.h"
+
+namespace autoview {
+
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const std::unordered_set<std::string> kKeywords = {
+      "SELECT", "FROM",  "WHERE", "GROUP", "BY",    "AS",    "AND",
+      "OR",     "NOT",   "INNER", "JOIN",  "ON",    "COUNT", "SUM",
+      "MIN",    "MAX",   "AVG",   "DISTINCT", "ORDER", "LIMIT", "HAVING",
+      "DESC",   "ASC"};
+  return kKeywords;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    const size_t start = i;
+    if (IsIdentStart(c)) {
+      size_t j = i + 1;
+      while (j < n && IsIdentChar(sql[j])) ++j;
+      std::string word = sql.substr(i, j - i);
+      std::string upper = ToUpper(word);
+      if (Keywords().count(upper)) {
+        tokens.push_back({TokenType::kKeyword, std::move(upper), start});
+      } else {
+        tokens.push_back({TokenType::kIdentifier, std::move(word), start});
+      }
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      bool is_float = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(sql[j])) ||
+                       sql[j] == '.')) {
+        if (sql[j] == '.') {
+          if (is_float) break;  // second dot ends the number
+          is_float = true;
+        }
+        ++j;
+      }
+      tokens.push_back({is_float ? TokenType::kFloatLiteral
+                                 : TokenType::kIntLiteral,
+                        sql.substr(i, j - i), start});
+      i = j;
+    } else if (c == '\'') {
+      size_t j = i + 1;
+      std::string text;
+      while (j < n && sql[j] != '\'') {
+        text += sql[j];
+        ++j;
+      }
+      if (j >= n) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(start));
+      }
+      tokens.push_back({TokenType::kStringLiteral, std::move(text), start});
+      i = j + 1;
+    } else {
+      // Multi-char operators first.
+      auto two = sql.substr(i, 2);
+      if (two == "<=" || two == ">=" || two == "<>" || two == "!=") {
+        tokens.push_back({TokenType::kSymbol, two == "!=" ? "<>" : two, start});
+        i += 2;
+        continue;
+      }
+      static const std::string kSingles = "(),.*=<>;+-/";
+      if (kSingles.find(c) == std::string::npos) {
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' at offset " + std::to_string(start));
+      }
+      if (c == ';') {  // statement terminator: ignore
+        ++i;
+        continue;
+      }
+      tokens.push_back({TokenType::kSymbol, std::string(1, c), start});
+      ++i;
+    }
+  }
+  tokens.push_back({TokenType::kEnd, "", n});
+  return tokens;
+}
+
+}  // namespace autoview

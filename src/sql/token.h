@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace autoview {
+
+/// \brief Lexical token categories produced by the SQL tokenizer.
+enum class TokenType {
+  kIdentifier,   // table / column / alias names
+  kKeyword,      // SELECT, FROM, WHERE, ... (upper-cased in `text`)
+  kIntLiteral,   // 42
+  kFloatLiteral, // 3.14
+  kStringLiteral,// 'abc' (quotes stripped in `text`)
+  kSymbol,       // ( ) , . * = < > <= >= <> !=
+  kEnd,
+};
+
+/// \brief One lexical token with its source offset (for error messages).
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;
+  size_t offset = 0;
+
+  bool IsKeyword(const char* kw) const {
+    return type == TokenType::kKeyword && text == kw;
+  }
+  bool IsSymbol(const char* sym) const {
+    return type == TokenType::kSymbol && text == sym;
+  }
+};
+
+/// Tokenizes a SQL string. Keywords are case-insensitive and normalized
+/// to upper case; identifiers keep their original spelling.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace autoview

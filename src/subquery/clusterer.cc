@@ -1,0 +1,101 @@
+#include "subquery/clusterer.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "plan/canonical.h"
+
+namespace autoview {
+
+bool CanonicalPlansOverlap(const PlanNode& a, const PlanNode& b) {
+  // In a plan tree, two matched view regions either nest or are disjoint,
+  // so two subqueries conflict exactly when one's plan occurs as a
+  // subtree of the other's (s3 contains s1/s2 in Fig. 2).
+  const std::string key_a = CanonicalKey(a);
+  const std::string key_b = CanonicalKey(b);
+  for (const auto& node : a.Subtrees()) {
+    if (CanonicalKey(*node) == key_b) return true;
+  }
+  for (const auto& node : b.Subtrees()) {
+    if (CanonicalKey(*node) == key_a) return true;
+  }
+  return false;
+}
+
+WorkloadAnalysis SubqueryClusterer::Analyze(
+    const std::vector<PlanNodePtr>& queries) const {
+  WorkloadAnalysis analysis;
+  analysis.num_queries = queries.size();
+
+  SubqueryExtractor extractor(options_.extractor);
+  std::map<std::string, size_t> key_to_cluster;
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    for (const auto& sub : extractor.Extract(queries[qi])) {
+      ++analysis.num_subqueries;
+      std::string key = CanonicalKey(*sub);
+      auto [it, inserted] =
+          key_to_cluster.emplace(std::move(key), analysis.clusters.size());
+      if (inserted) {
+        SubqueryCluster cluster;
+        cluster.canonical_key = CanonicalKey(*sub);
+        analysis.clusters.push_back(std::move(cluster));
+      }
+      analysis.clusters[it->second].occurrences.push_back({qi, sub});
+    }
+  }
+
+  for (auto& cluster : analysis.clusters) {
+    analysis.num_equivalent_pairs += cluster.num_equivalent_pairs();
+    // Distinct queries containing this cluster.
+    std::set<size_t> qset;
+    for (const auto& occ : cluster.occurrences) qset.insert(occ.query_index);
+    cluster.query_indices.assign(qset.begin(), qset.end());
+    // Candidate member: least overhead (cost oracle) or smallest plan.
+    const SubqueryOccurrence* best = &cluster.occurrences.front();
+    double best_cost = cost_fn_ ? cost_fn_(*best->plan)
+                                : static_cast<double>(best->plan->NumOperators());
+    for (const auto& occ : cluster.occurrences) {
+      const double cost = cost_fn_
+                              ? cost_fn_(*occ.plan)
+                              : static_cast<double>(occ.plan->NumOperators());
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = &occ;
+      }
+    }
+    cluster.candidate = best->plan;
+  }
+
+  // Candidate clusters: shared by >= min_sharing distinct queries.
+  for (size_t ci = 0; ci < analysis.clusters.size(); ++ci) {
+    if (analysis.clusters[ci].query_indices.size() >= options_.min_sharing) {
+      analysis.candidates.push_back(ci);
+    }
+  }
+
+  // Associated queries: any query containing a candidate cluster.
+  std::set<size_t> associated;
+  for (size_t cand : analysis.candidates) {
+    for (size_t qi : analysis.clusters[cand].query_indices) {
+      associated.insert(qi);
+    }
+  }
+  analysis.associated_queries.assign(associated.begin(), associated.end());
+
+  // Pairwise overlap between candidates (Definition 5).
+  const size_t z = analysis.candidates.size();
+  analysis.overlapping.assign(z, {});
+  for (size_t j = 0; j < z; ++j) {
+    const auto& pj = analysis.clusters[analysis.candidates[j]].candidate;
+    for (size_t k = j + 1; k < z; ++k) {
+      const auto& pk = analysis.clusters[analysis.candidates[k]].candidate;
+      if (CanonicalPlansOverlap(*pj, *pk)) {
+        analysis.overlapping[j].push_back(k);
+      }
+    }
+  }
+  return analysis;
+}
+
+}  // namespace autoview

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "plan/plan.h"
+#include "subquery/extractor.h"
+
+namespace autoview {
+
+/// \brief One subquery occurrence inside a workload query.
+struct SubqueryOccurrence {
+  size_t query_index = 0;  ///< index into the analyzed workload
+  PlanNodePtr plan;        ///< the subplan
+};
+
+/// \brief A cluster of semantically equivalent subqueries (§III).
+struct SubqueryCluster {
+  std::string canonical_key;
+  std::vector<SubqueryOccurrence> occurrences;
+  /// The cluster member chosen as the candidate subquery (the one with
+  /// the least overhead), per the paper's pre-process step.
+  PlanNodePtr candidate;
+  /// Distinct queries containing a member of this cluster.
+  std::vector<size_t> query_indices;
+
+  size_t num_occurrences() const { return occurrences.size(); }
+  /// Equivalent pairs contributed by this cluster: C(n, 2).
+  size_t num_equivalent_pairs() const {
+    const size_t n = occurrences.size();
+    return n * (n - 1) / 2;
+  }
+};
+
+/// \brief Result of the full pre-process pipeline over a workload.
+struct WorkloadAnalysis {
+  size_t num_queries = 0;
+  size_t num_subqueries = 0;        ///< total extracted occurrences
+  size_t num_equivalent_pairs = 0;  ///< Table I: #equivalent pairs
+  std::vector<SubqueryCluster> clusters;  ///< all equivalence clusters
+
+  /// Indices (into `clusters`) of the candidate clusters — those shared
+  /// by at least `min_sharing` distinct queries. |Z| of Table I.
+  std::vector<size_t> candidates;
+
+  /// Query indices that can use at least one candidate view. |Q|.
+  std::vector<size_t> associated_queries;
+
+  /// Candidate-pair overlap flags: overlap_pairs[j] lists k > j with
+  /// overlapping candidate subqueries (Definition 5). The x_{jk} of §V.
+  std::vector<std::vector<size_t>> overlapping;
+
+  size_t num_overlapping_pairs() const {
+    size_t n = 0;
+    for (const auto& row : overlapping) n += row.size();
+    return n;
+  }
+};
+
+/// \brief Clusters equivalent subqueries and derives the candidate set.
+///
+/// Equivalence detection substitutes EQUITAS [45] with canonical-form
+/// comparison (see plan/canonical.h).
+class SubqueryClusterer {
+ public:
+  struct Options {
+    ExtractorOptions extractor;
+    /// A cluster becomes a candidate when members appear in at least
+    /// this many distinct queries (sharing is what creates benefit).
+    size_t min_sharing = 2;
+  };
+
+  /// Optional cost oracle used to pick each cluster's least-overhead
+  /// member as the candidate; when absent the smallest plan wins.
+  using CostFn = std::function<double(const PlanNode&)>;
+
+  SubqueryClusterer() : options_() {}
+  explicit SubqueryClusterer(Options options, CostFn cost_fn = nullptr)
+      : options_(options), cost_fn_(std::move(cost_fn)) {}
+
+  /// Runs extraction + equivalence clustering + overlap detection.
+  WorkloadAnalysis Analyze(const std::vector<PlanNodePtr>& queries) const;
+
+ private:
+  Options options_;
+  CostFn cost_fn_;
+};
+
+/// Overlap per Definition 5 evaluated on canonical subtree keys, so two
+/// equivalent-but-structurally-different subplans still register their
+/// common subtrees.
+bool CanonicalPlansOverlap(const PlanNode& a, const PlanNode& b);
+
+}  // namespace autoview

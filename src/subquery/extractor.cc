@@ -1,0 +1,23 @@
+#include "subquery/extractor.h"
+
+namespace autoview {
+
+std::vector<PlanNodePtr> SubqueryExtractor::Extract(
+    const PlanNodePtr& query) const {
+  std::vector<PlanNodePtr> out;
+  const std::vector<PlanNodePtr> subtrees = query->Subtrees();
+  for (size_t i = 0; i < subtrees.size(); ++i) {
+    if (i == 0 && !options_.include_root) continue;
+    const PlanNodePtr& node = subtrees[i];
+    const PlanOp op = node->op();
+    if (op != PlanOp::kAggregate && op != PlanOp::kJoin &&
+        op != PlanOp::kProject) {
+      continue;
+    }
+    if (node->NumOperators() < options_.min_operators) continue;
+    out.push_back(node);
+  }
+  return out;
+}
+
+}  // namespace autoview

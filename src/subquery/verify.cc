@@ -1,0 +1,48 @@
+#include "subquery/verify.h"
+
+#include <algorithm>
+
+namespace autoview {
+
+Result<bool> VerifyEquivalenceByExecution(const Database& db,
+                                          const PlanNode& a,
+                                          const PlanNode& b) {
+  Executor exec(&db);
+  AV_ASSIGN_OR_RETURN(ExecResult ra, exec.Execute(a));
+  AV_ASSIGN_OR_RETURN(ExecResult rb, exec.Execute(b));
+  const Table& ta = ra.table;
+  Table& tb = rb.table;
+  if (ta.num_columns() != tb.num_columns()) {
+    return Status::InvalidArgument("plans have different output widths");
+  }
+
+  // Align b's columns to a's by name.
+  std::vector<size_t> mapping(ta.num_columns());
+  for (size_t i = 0; i < ta.num_columns(); ++i) {
+    bool found = false;
+    for (size_t j = 0; j < tb.num_columns(); ++j) {
+      if (tb.columns[j].name == ta.columns[i].name) {
+        mapping[i] = j;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::InvalidArgument("column name sets differ: " +
+                                     ta.columns[i].name);
+    }
+  }
+
+  Table aligned;
+  aligned.columns = ta.columns;
+  aligned.rows.reserve(tb.rows.size());
+  for (const auto& row : tb.rows) {
+    Row reordered;
+    reordered.reserve(mapping.size());
+    for (size_t j : mapping) reordered.push_back(row[j]);
+    aligned.rows.push_back(std::move(reordered));
+  }
+  return TablesEqualUnordered(ta, aligned);
+}
+
+}  // namespace autoview

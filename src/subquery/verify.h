@@ -1,0 +1,27 @@
+#pragma once
+
+#include "engine/database.h"
+#include "engine/executor.h"
+#include "plan/plan.h"
+#include "util/status.h"
+
+namespace autoview {
+
+/// \brief Execution-based equivalence verification.
+///
+/// The canonical-form detector (plan/canonical.h) substitutes EQUITAS
+/// syntactically; this helper gives a semantic safety net: it executes
+/// both plans against the live database and compares result bags with
+/// columns matched BY NAME (canonically-equivalent plans may order
+/// their output columns differently).
+///
+/// Returns true when the two plans produce the same named-column bag,
+/// false when they differ, or an error when they cannot be compared
+/// (mismatched column-name sets) or fail to execute. A `true` result is
+/// evidence of equivalence on this data, not a proof; a `false` result
+/// is a definite counterexample.
+Result<bool> VerifyEquivalenceByExecution(const Database& db,
+                                          const PlanNode& a,
+                                          const PlanNode& b);
+
+}  // namespace autoview

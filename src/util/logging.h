@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace autoview {
+
+/// \brief Log severities in increasing order.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum severity; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log line emitter; flushes to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define AV_LOG(level)                                                     \
+  ::autoview::internal::LogMessage(::autoview::LogLevel::k##level, __FILE__, \
+                                   __LINE__)
+
+/// Fatal invariant check: prints and aborts when `cond` is false.
+#define AV_CHECK(cond)                                                     \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,        \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define AV_CHECK_EQ(a, b) AV_CHECK((a) == (b))
+#define AV_CHECK_LT(a, b) AV_CHECK((a) < (b))
+#define AV_CHECK_LE(a, b) AV_CHECK((a) <= (b))
+#define AV_CHECK_GT(a, b) AV_CHECK((a) > (b))
+#define AV_CHECK_GE(a, b) AV_CHECK((a) >= (b))
+
+}  // namespace autoview

@@ -1,0 +1,96 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace autoview {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* x) {
+  uint64_t z = (*x += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+void Rng::Seed(uint64_t seed) {
+  for (auto& s : state_) s = SplitMix64(&seed);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  const uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+  uint64_t r;
+  do {
+    r = Next();
+  } while (r >= limit);
+  return lo + static_cast<int64_t>(r % range);
+}
+
+double Rng::Uniform01() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform01(); }
+
+double Rng::Normal(double mean, double stddev) {
+  // Box-Muller; discard the second variate for simplicity.
+  double u1 = Uniform01();
+  double u2 = Uniform01();
+  while (u1 <= 1e-300) u1 = Uniform01();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+int64_t Rng::Zipf(int64_t n, double s) {
+  if (n <= 1) return 0;
+  if (s <= 0.0) return UniformInt(0, n - 1);
+  auto [it, inserted] = zipf_cdf_.try_emplace({n, s});
+  std::vector<double>& cdf = it->second;
+  if (inserted) {
+    cdf.resize(static_cast<size_t>(n));
+    double total = 0.0;
+    for (int64_t k = 0; k < n; ++k) {
+      total += std::pow(static_cast<double>(k + 1), -s);
+      cdf[static_cast<size_t>(k)] = total;
+    }
+  }
+  const double r = Uniform(0.0, cdf.back());
+  const auto pos = std::lower_bound(cdf.begin(), cdf.end(), r);
+  return static_cast<int64_t>(pos - cdf.begin());
+}
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += w > 0 ? w : 0.0;
+  if (total <= 0.0) return 0;
+  double r = Uniform(0.0, total);
+  for (size_t i = 0; i < weights.size(); ++i) {
+    const double w = weights[i] > 0 ? weights[i] : 0.0;
+    if (r < w) return i;
+    r -= w;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace autoview

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace autoview {
+
+/// \brief Deterministic 64-bit PRNG (xoshiro256** seeded via SplitMix64).
+///
+/// Every stochastic component in the library (data generation, model
+/// initialization, IterView flips, DQN exploration) draws from an Rng so
+/// experiments are bit-reproducible under a fixed seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) { Seed(seed); }
+
+  /// Re-seeds the generator; identical seeds give identical streams.
+  void Seed(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double Uniform01();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller.
+  double Normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return Uniform01() < p; }
+
+  /// Zipf-distributed rank in [0, n) with exponent `s` (s = 0 => uniform).
+  /// Samples by binary search over a cached cumulative weight table per
+  /// (n, s) pair, robust for any s >= 0 including s == 1.
+  int64_t Zipf(int64_t n, double s);
+
+  /// Fisher-Yates shuffle of `v`.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+ private:
+  uint64_t state_[4];
+  // Cumulative Zipf weights keyed by (n, s); see Zipf().
+  std::map<std::pair<int64_t, double>, std::vector<double>> zipf_cdf_;
+};
+
+}  // namespace autoview

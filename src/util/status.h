@@ -1,0 +1,127 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace autoview {
+
+/// \brief Error categories used across the library.
+///
+/// The library follows the Arrow/RocksDB convention of returning a Status
+/// (or Result<T>) from any operation that can fail, instead of throwing.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kParseError,
+  kTypeError,
+  kUnsupported,
+  kResourceExhausted,
+  kInternal,
+};
+
+/// \brief Human-readable name of a StatusCode (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// \brief A success-or-error outcome carrying a code and a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Returns "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// \brief Either a value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::in_place_index<0>, std::move(value)) {}
+  /// Implicit construction from a non-OK Status (error).
+  Result(Status status) : value_(std::in_place_index<1>, std::move(status)) {}
+
+  bool ok() const { return value_.index() == 0; }
+
+  const T& value() const& { return std::get<0>(value_); }
+  T& value() & { return std::get<0>(value_); }
+  T&& value() && { return std::get<0>(std::move(value_)); }
+
+  /// Status of this result; OK when a value is present.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<1>(value_);
+  }
+
+  /// Returns the value, or `fallback` when this holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? std::get<0>(value_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define AV_RETURN_NOT_OK(expr)                \
+  do {                                        \
+    ::autoview::Status _st = (expr);          \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+#define AV_CONCAT_INNER(a, b) a##b
+#define AV_CONCAT(a, b) AV_CONCAT_INNER(a, b)
+
+#define AV_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                             \
+  if (!tmp.ok()) return tmp.status();            \
+  lhs = std::move(tmp).value();
+
+/// Assigns the value of a Result expression or propagates its error.
+#define AV_ASSIGN_OR_RETURN(lhs, expr) \
+  AV_ASSIGN_OR_RETURN_IMPL(AV_CONCAT(_av_res_, __LINE__), lhs, expr)
+
+}  // namespace autoview

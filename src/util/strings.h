@@ -1,0 +1,36 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace autoview {
+
+/// Joins `parts` with `sep` ("a", "b" -> "a,b").
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `s` on the single character `sep`; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// ASCII lower-casing.
+std::string ToLower(std::string_view s);
+
+/// ASCII upper-casing.
+std::string ToUpper(std::string_view s);
+
+/// Removes leading/trailing whitespace.
+std::string_view Trim(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Renders a double with `digits` significant decimals, trimming zeros.
+std::string FormatDouble(double v, int digits = 4);
+
+/// Human-readable count: 1234 -> "1.2K", 2500000 -> "2.5M".
+std::string HumanCount(double v);
+
+}  // namespace autoview

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace autoview {
+
+/// \brief Renders aligned plain-text tables; used by the benchmark
+/// harness to print paper-style tables.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a row; it may have fewer cells than the header (padded).
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table with a header separator line.
+  std::string ToString() const;
+
+  /// Renders and writes to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace autoview

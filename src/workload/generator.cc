@@ -1,0 +1,609 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <functional>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace autoview {
+
+namespace {
+
+/// Adds a table of `rows` rows whose columns are produced by callbacks.
+struct ColumnGen {
+  std::string name;
+  ColumnType type;
+  std::function<Value(size_t row, Rng*)> make;
+};
+
+void AddGeneratedTable(Database* db, const std::string& name, size_t rows,
+                       const std::vector<ColumnGen>& columns, Rng* rng) {
+  std::vector<ColumnSchema> schema_cols;
+  for (const auto& col : columns) schema_cols.push_back({col.name, col.type});
+  std::vector<Row> data;
+  data.reserve(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    Row row;
+    row.reserve(columns.size());
+    for (const auto& col : columns) row.push_back(col.make(r, rng));
+    data.push_back(std::move(row));
+  }
+  AV_CHECK(db->AddTable(TableSchema(name, std::move(schema_cols)),
+                        std::move(data))
+               .ok());
+}
+
+Value IntVal(int64_t v) { return Value(v); }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Cloud workload (WK1 / WK2 substitution)
+// ---------------------------------------------------------------------------
+
+GeneratedWorkload GenerateCloudWorkload(const CloudWorkloadSpec& spec) {
+  GeneratedWorkload workload;
+  workload.name = spec.name;
+  workload.db = std::make_unique<Database>();
+  workload.num_projects = spec.projects;
+  Rng rng(spec.seed);
+
+  const std::vector<std::string> kDates = {"2020-01-01", "2020-01-02",
+                                           "2020-01-03", "2020-01-04"};
+  const std::vector<std::string> kRegions = {"north", "south", "east",
+                                             "west", "center"};
+  const std::vector<std::string> kCategories = {
+      "food", "tech", "toys", "books", "sports", "home"};
+
+  struct Project {
+    std::string events, users, items, logs;
+    int64_t n_users, n_items;
+    std::vector<std::string> pool;        ///< derived-table SQL snippets
+    std::vector<int> pool_kind;           ///< 0=events,1=users,2=join,3=items
+  };
+  std::vector<Project> projects(spec.projects);
+
+  // Derived-table body of the given kind with fresh random literals.
+  auto make_snippet = [&](const Project& proj, int kind,
+                          Rng* r) -> std::string {
+    switch (kind) {
+      case 0: {  // filtered events
+        // The wide `value` domain keeps one-off subqueries distinct, so
+        // the shared_fraction knob (not literal collisions) controls the
+        // redundancy rate (Fig. 1).
+        const auto& dt = kDates[static_cast<size_t>(
+            r->UniformInt(0, static_cast<int64_t>(kDates.size()) - 1))];
+        return StrFormat(
+            "select user_id, item_id, value from %s where dt = '%s' and "
+            "type = %lld and value < %lld",
+            proj.events.c_str(), dt.c_str(),
+            static_cast<long long>(r->UniformInt(0, 5)),
+            static_cast<long long>(r->UniformInt(30, 99)));
+      }
+      case 1:  // filtered users
+        return StrFormat("select user_id, region from %s where age > %lld",
+                         proj.users.c_str(),
+                         static_cast<long long>(r->UniformInt(20, 64)));
+      case 2: {  // join subquery: events x users (overlaps kinds 0/1)
+        const auto& dt = kDates[static_cast<size_t>(
+            r->UniformInt(0, static_cast<int64_t>(kDates.size()) - 1))];
+        return StrFormat(
+            "select e.user_id as user_id, e.value as value, u.region as "
+            "region from (select user_id, item_id, value from %s where dt "
+            "= '%s' and type = %lld and value < %lld) e inner join (select "
+            "user_id, region from %s where age > %lld) u on e.user_id = "
+            "u.user_id",
+            proj.events.c_str(), dt.c_str(),
+            static_cast<long long>(r->UniformInt(0, 5)),
+            static_cast<long long>(r->UniformInt(30, 99)),
+            proj.users.c_str(),
+            static_cast<long long>(r->UniformInt(20, 64)));
+      }
+      default:  // filtered items
+        return StrFormat("select item_id, category from %s where price < %lld",
+                         proj.items.c_str(),
+                         static_cast<long long>(r->UniformInt(100, 450)));
+    }
+  };
+
+  for (size_t p = 0; p < spec.projects; ++p) {
+    Project& proj = projects[p];
+    const std::string prefix = "p" + std::to_string(p) + "_";
+    proj.events = prefix + "events";
+    proj.users = prefix + "users";
+    proj.items = prefix + "items";
+    proj.logs = prefix + "logs";
+
+    const size_t fact_rows = static_cast<size_t>(
+        rng.UniformInt(static_cast<int64_t>(spec.min_rows),
+                       static_cast<int64_t>(spec.max_rows)));
+    proj.n_users = std::max<int64_t>(20, static_cast<int64_t>(fact_rows) / 8);
+    proj.n_items = std::max<int64_t>(10, static_cast<int64_t>(fact_rows) / 16);
+
+    // `dt` and `type` are strongly correlated (most rows of a date carry
+    // one dominant type): conjunctive predicates over them break the
+    // optimizer's independence assumption, which is what makes the
+    // paper's `Optimizer` baseline accumulate error (Table III).
+    // Join keys are zipf-skewed for the same reason (distinct-count join
+    // estimates assume uniformity).
+    std::vector<int64_t> row_date(fact_rows);
+    for (auto& d : row_date) {
+      d = rng.Zipf(static_cast<int64_t>(kDates.size()), 0.7);
+    }
+    size_t date_cursor_a = 0, date_cursor_b = 0;
+    AddGeneratedTable(
+        workload.db.get(), proj.events, fact_rows,
+        {
+            {"user_id", ColumnType::kInt64,
+             [&](size_t, Rng* r) { return IntVal(r->Zipf(proj.n_users, 1.1)); }},
+            {"item_id", ColumnType::kInt64,
+             [&](size_t, Rng* r) { return IntVal(r->Zipf(proj.n_items, 1.2)); }},
+            {"type", ColumnType::kInt64,
+             [&](size_t, Rng* r) {
+               const int64_t d = row_date[date_cursor_a++ % fact_rows];
+               return IntVal(r->Bernoulli(0.8) ? (d * 2) % 6
+                                               : r->UniformInt(0, 5));
+             }},
+            {"dt", ColumnType::kString,
+             [&](size_t, Rng*) {
+               return Value(kDates[static_cast<size_t>(
+                   row_date[date_cursor_b++ % fact_rows])]);
+             }},
+            {"value", ColumnType::kInt64,
+             [&](size_t, Rng* r) { return IntVal(r->UniformInt(0, 100)); }},
+        },
+        &rng);
+    AddGeneratedTable(
+        workload.db.get(), proj.users, static_cast<size_t>(proj.n_users),
+        {
+            {"user_id", ColumnType::kInt64,
+             [&](size_t row, Rng*) { return IntVal(static_cast<int64_t>(row)); }},
+            {"region", ColumnType::kString,
+             [&](size_t, Rng* r) {
+               return Value(kRegions[static_cast<size_t>(r->UniformInt(
+                   0, static_cast<int64_t>(kRegions.size()) - 1))]);
+             }},
+            {"age", ColumnType::kInt64,
+             [&](size_t, Rng* r) { return IntVal(r->UniformInt(18, 70)); }},
+        },
+        &rng);
+    AddGeneratedTable(
+        workload.db.get(), proj.items, static_cast<size_t>(proj.n_items),
+        {
+            {"item_id", ColumnType::kInt64,
+             [&](size_t row, Rng*) { return IntVal(static_cast<int64_t>(row)); }},
+            {"category", ColumnType::kString,
+             [&](size_t, Rng* r) {
+               return Value(kCategories[static_cast<size_t>(r->UniformInt(
+                   0, static_cast<int64_t>(kCategories.size()) - 1))]);
+             }},
+            {"price", ColumnType::kInt64,
+             [&](size_t, Rng* r) { return IntVal(r->UniformInt(1, 500)); }},
+        },
+        &rng);
+    if (spec.tables_per_project >= 4) {
+      AddGeneratedTable(
+          workload.db.get(), proj.logs, fact_rows / 2 + 50,
+          {
+              {"user_id", ColumnType::kInt64,
+               [&](size_t, Rng* r) {
+                 return IntVal(r->Zipf(proj.n_users, 0.6));
+               }},
+              {"severity", ColumnType::kInt64,
+               [&](size_t, Rng* r) { return IntVal(r->UniformInt(0, 3)); }},
+              {"dt", ColumnType::kString,
+               [&](size_t, Rng* r) {
+                 return Value(kDates[static_cast<size_t>(r->UniformInt(
+                     0, static_cast<int64_t>(kDates.size()) - 1))]);
+               }},
+          },
+          &rng);
+    }
+
+    // Build the per-project subquery pool. Members are derived-table
+    // bodies; textual reuse across queries creates the equivalent
+    // subqueries the pre-processing clusters.
+    for (size_t s = 0; s < spec.subquery_pool; ++s) {
+      const int kind = static_cast<int>(s % 4);
+      proj.pool.push_back(make_snippet(proj, kind, &rng));
+      proj.pool_kind.push_back(kind);
+    }
+  }
+
+  // Generate queries: each picks a project and pool members via a
+  // zipf-skewed draw (the skew concentrates sharing, Fig. 1).
+  for (size_t q = 0; q < spec.queries; ++q) {
+    const size_t p = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(spec.projects) - 1));
+    Project& proj = projects[p];
+    // Pick a subquery body of the wanted kind: with probability
+    // shared_fraction reuse a (zipf-skewed) pool member, otherwise
+    // generate a fresh one-off subquery. The mix controls how much of
+    // the workload is redundant (Fig. 1).
+    auto pick = [&](int want_kind) -> std::string {
+      if (rng.Bernoulli(spec.shared_fraction)) {
+        for (int attempt = 0; attempt < 64; ++attempt) {
+          size_t idx = static_cast<size_t>(rng.Zipf(
+              static_cast<int64_t>(proj.pool.size()), spec.pool_zipf));
+          if (proj.pool_kind[idx] == want_kind) return proj.pool[idx];
+        }
+        for (size_t idx = 0; idx < proj.pool.size(); ++idx) {
+          if (proj.pool_kind[idx] == want_kind) return proj.pool[idx];
+        }
+      }
+      return make_snippet(proj, want_kind, &rng);
+    };
+
+    const double shape = rng.Uniform01();
+    std::string sql;
+    if (shape < 0.3) {
+      // Aggregate over one events-pool subquery.
+      const std::string a = pick(0);
+      const char* group = rng.Bernoulli(0.5) ? "user_id" : "item_id";
+      sql = StrFormat(
+          "select t.%s, count(*) as cnt, sum(t.value) as total from (%s) t "
+          "group by t.%s",
+          group, a.c_str(), group);
+    } else if (shape < 0.55) {
+      // Aggregate over a join-pool subquery.
+      const std::string a = pick(2);
+      sql = StrFormat(
+          "select j.region, sum(j.value) as total from (%s) j group by "
+          "j.region",
+          a.c_str());
+    } else if (shape < 0.55 + spec.deep_join_fraction) {
+      // Three-way join: events x users x items.
+      const std::string a = pick(0);
+      const std::string b = pick(1);
+      const std::string c = pick(3);
+      sql = StrFormat(
+          "select u.region, i.category, count(*) as cnt from (%s) e inner "
+          "join (%s) u on e.user_id = u.user_id inner join (%s) i on "
+          "e.item_id = i.item_id group by u.region, i.category",
+          a.c_str(), b.c_str(), c.c_str());
+    } else {
+      // Two-way join: events x users.
+      const std::string a = pick(0);
+      const std::string b = pick(1);
+      const char* agg =
+          rng.Bernoulli(0.5) ? "count(*) as cnt" : "sum(e.value) as total";
+      sql = StrFormat(
+          "select u.region, %s from (%s) e inner join (%s) u on e.user_id = "
+          "u.user_id group by u.region",
+          agg, a.c_str(), b.c_str());
+    }
+    // A fraction of queries carry a top-k tail (ORDER BY ... LIMIT n),
+    // exercising the Sort/Limit operators through the whole pipeline.
+    if (rng.Bernoulli(0.25)) {
+      const char* key = sql.find(" sum(") != std::string::npos ||
+                                sql.find("total from") != std::string::npos
+                            ? "total"
+                            : "cnt";
+      if (sql.find(std::string(" as ") + key) != std::string::npos) {
+        sql += StrFormat(" order by %s desc limit %lld", key,
+                         static_cast<long long>(rng.UniformInt(5, 40)));
+      }
+    }
+    workload.sql.push_back(std::move(sql));
+    workload.project_of.push_back(p);
+  }
+
+  AV_CHECK(workload.db->ComputeAllStats().ok());
+  return workload;
+}
+
+CloudWorkloadSpec Wk1Spec(double scale) {
+  CloudWorkloadSpec spec;
+  spec.name = "WK1";
+  spec.projects = 6;
+  spec.tables_per_project = 4;
+  spec.queries = static_cast<size_t>(240 * scale);
+  spec.subquery_pool = 10;
+  spec.shared_fraction = 0.35;
+  spec.pool_zipf = 1.4;  // more skewed sharing (wider Fig. 10 swings)
+  spec.deep_join_fraction = 0.15;
+  spec.seed = 101;
+  return spec;
+}
+
+CloudWorkloadSpec Wk2Spec(double scale) {
+  CloudWorkloadSpec spec;
+  spec.name = "WK2";
+  spec.projects = 8;
+  spec.tables_per_project = 4;
+  spec.queries = static_cast<size_t>(360 * scale);
+  spec.subquery_pool = 14;
+  spec.shared_fraction = 0.30;
+  spec.pool_zipf = 0.9;              // flatter sharing
+  spec.deep_join_fraction = 0.45;    // more complex queries than WK1
+  spec.seed = 202;
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// JOB-like workload (IMDB substitution)
+// ---------------------------------------------------------------------------
+
+GeneratedWorkload GenerateJobWorkload(const JobWorkloadSpec& spec) {
+  GeneratedWorkload workload;
+  workload.name = "JOB";
+  workload.db = std::make_unique<Database>();
+  workload.num_projects = 1;
+  Rng rng(spec.seed);
+
+  auto rows_for = [&](double weight) {
+    return static_cast<size_t>(static_cast<double>(rng.UniformInt(
+               static_cast<int64_t>(spec.min_rows),
+               static_cast<int64_t>(spec.max_rows))) * weight) + 64;
+  };
+
+  const size_t n_title = rows_for(1.0);
+  const int64_t title_ids = static_cast<int64_t>(n_title);
+  Database* db = workload.db.get();
+
+  auto movie_fk = [&](size_t, Rng* r) {
+    return IntVal(r->Zipf(title_ids, 0.7));
+  };
+
+  // kind_id and production_year are correlated (each kind clusters in
+  // one era): "production_year > Y AND kind_id = K" violates the
+  // optimizer's independence assumption, as in real IMDB data.
+  std::vector<int64_t> title_kind(n_title);
+  for (auto& k : title_kind) k = rng.Zipf(7, 0.8) + 1;
+  size_t kind_cursor_a = 0, kind_cursor_b = 0;
+  AddGeneratedTable(
+      db, "title", n_title,
+      {{"id", ColumnType::kInt64,
+        [](size_t row, Rng*) { return IntVal(static_cast<int64_t>(row)); }},
+       {"kind_id", ColumnType::kInt64,
+        [&](size_t, Rng*) { return IntVal(title_kind[kind_cursor_a++ % n_title]); }},
+       {"production_year", ColumnType::kInt64,
+        [&](size_t, Rng* r) {
+          const int64_t kind = title_kind[kind_cursor_b++ % n_title];
+          return IntVal(1948 + kind * 9 + r->UniformInt(0, 8));
+        }},
+       {"episode_nr", ColumnType::kInt64,
+        [](size_t, Rng* r) { return IntVal(r->UniformInt(0, 50)); }}},
+      &rng);
+  AddGeneratedTable(
+      db, "movie_companies", rows_for(2.0),
+      {{"movie_id", ColumnType::kInt64, movie_fk},
+       {"company_id", ColumnType::kInt64,
+        [](size_t, Rng* r) { return IntVal(r->Zipf(200, 1.0)); }},
+       {"company_type_id", ColumnType::kInt64,
+        [](size_t, Rng* r) { return IntVal(r->UniformInt(1, 4)); }},
+       {"country_code", ColumnType::kString,
+        [](size_t, Rng* r) {
+          static const char* kCodes[] = {"us", "de", "fr", "jp", "cn", "uk"};
+          return Value(kCodes[r->Zipf(6, 0.9)]);
+        }}},
+      &rng);
+  AddGeneratedTable(db, "movie_info", rows_for(2.5),
+                    {{"movie_id", ColumnType::kInt64, movie_fk},
+                     {"info_type_id", ColumnType::kInt64,
+                      [](size_t, Rng* r) { return IntVal(r->UniformInt(1, 20)); }},
+                     {"info_val", ColumnType::kInt64,
+                      [](size_t, Rng* r) { return IntVal(r->UniformInt(0, 1000)); }}},
+                    &rng);
+  AddGeneratedTable(db, "movie_info_idx", rows_for(1.5),
+                    {{"movie_id", ColumnType::kInt64, movie_fk},
+                     {"info_type_id", ColumnType::kInt64,
+                      [](size_t, Rng* r) { return IntVal(r->UniformInt(1, 20)); }},
+                     {"rating", ColumnType::kInt64,
+                      [](size_t, Rng* r) { return IntVal(r->UniformInt(0, 100)); }}},
+                    &rng);
+  AddGeneratedTable(db, "movie_keyword", rows_for(2.0),
+                    {{"movie_id", ColumnType::kInt64, movie_fk},
+                     {"keyword_id", ColumnType::kInt64,
+                      [](size_t, Rng* r) { return IntVal(r->Zipf(400, 1.1)); }}},
+                    &rng);
+  AddGeneratedTable(db, "cast_info", rows_for(3.0),
+                    {{"movie_id", ColumnType::kInt64, movie_fk},
+                     {"person_id", ColumnType::kInt64,
+                      [](size_t, Rng* r) { return IntVal(r->Zipf(800, 0.9)); }},
+                     {"role_id", ColumnType::kInt64,
+                      [](size_t, Rng* r) { return IntVal(r->UniformInt(1, 11)); }}},
+                    &rng);
+  AddGeneratedTable(db, "movie_link", rows_for(0.5),
+                    {{"movie_id", ColumnType::kInt64, movie_fk},
+                     {"linked_movie_id", ColumnType::kInt64, movie_fk},
+                     {"link_type_id", ColumnType::kInt64,
+                      [](size_t, Rng* r) { return IntVal(r->UniformInt(1, 17)); }}},
+                    &rng);
+  AddGeneratedTable(db, "complete_cast", rows_for(0.6),
+                    {{"movie_id", ColumnType::kInt64, movie_fk},
+                     {"subject_id", ColumnType::kInt64,
+                      [](size_t, Rng* r) { return IntVal(r->UniformInt(1, 4)); }},
+                     {"status_id", ColumnType::kInt64,
+                      [](size_t, Rng* r) { return IntVal(r->UniformInt(1, 4)); }}},
+                    &rng);
+
+  // Small dimension tables complete the 21-table schema.
+  auto add_dim = [&](const std::string& name, size_t n,
+                     const std::string& label_col) {
+    AddGeneratedTable(
+        db, name, n,
+        {{"id", ColumnType::kInt64,
+          [](size_t row, Rng*) { return IntVal(static_cast<int64_t>(row) + 1); }},
+         {label_col, ColumnType::kString,
+          [&name](size_t row, Rng*) {
+            return Value(name + "_" + std::to_string(row));
+          }}},
+        &rng);
+  };
+  add_dim("company_name", 200, "name");
+  add_dim("company_type", 4, "kind");
+  add_dim("info_type", 20, "info");
+  add_dim("keyword", 400, "keyword");
+  add_dim("kind_type", 7, "kind");
+  add_dim("name", 800, "name");
+  add_dim("aka_name", 300, "name");
+  add_dim("aka_title", 300, "title");
+  add_dim("char_name", 500, "name");
+  add_dim("comp_cast_type", 4, "kind");
+  add_dim("link_type", 17, "link");
+  add_dim("person_info", 600, "info");
+  add_dim("role_type", 11, "role");
+
+  // Shared subquery pool over the fact tables (the redundancy source).
+  struct PoolEntry {
+    std::string sql;
+    int kind;  // 0 = title, 1..5 = satellites
+  };
+  std::vector<PoolEntry> pool;
+  for (int k = 0; k < 4; ++k) {
+    pool.push_back({StrFormat("select id, kind_id from title where "
+                              "production_year > %lld and kind_id = %lld",
+                              static_cast<long long>(rng.UniformInt(1960, 2005)),
+                              static_cast<long long>(rng.UniformInt(1, 7))),
+                    0});
+  }
+  for (int k = 0; k < 3; ++k) {
+    static const char* kCodes[] = {"us", "de", "fr", "jp", "cn", "uk"};
+    pool.push_back(
+        {StrFormat("select movie_id, company_id from movie_companies where "
+                   "company_type_id = %lld and country_code = '%s'",
+                   static_cast<long long>(rng.UniformInt(1, 4)),
+                   kCodes[rng.Zipf(6, 0.9)]),
+         1});
+  }
+  for (int k = 0; k < 3; ++k) {
+    pool.push_back(
+        {StrFormat("select movie_id, info_type_id from movie_info where "
+                   "info_type_id = %lld",
+                   static_cast<long long>(rng.UniformInt(1, 20))),
+         2});
+  }
+  for (int k = 0; k < 3; ++k) {
+    pool.push_back({StrFormat("select movie_id, keyword_id from "
+                              "movie_keyword where keyword_id < %lld",
+                              static_cast<long long>(rng.UniformInt(40, 300))),
+                    3});
+  }
+  for (int k = 0; k < 3; ++k) {
+    pool.push_back(
+        {StrFormat("select movie_id, person_id from cast_info where role_id "
+                   "= %lld",
+                   static_cast<long long>(rng.UniformInt(1, 11))),
+         4});
+  }
+  for (int k = 0; k < 2; ++k) {
+    pool.push_back(
+        {StrFormat("select movie_id, rating from movie_info_idx where rating "
+                   "> %lld",
+                   static_cast<long long>(rng.UniformInt(20, 80))),
+         5});
+  }
+
+  // Fresh (unshared) satellite subquery: same shape as the pool members
+  // but with a wide-domain movie_id pruning predicate, so it never
+  // collides with another query's. This is the non-reusable part of a
+  // query — in real JOB most of a query's joins are NOT covered by any
+  // shared view, which keeps view coverage (and the saving ratio)
+  // fractional rather than total.
+  auto make_fresh_satellite = [&]() -> std::string {
+    const long long cut = static_cast<long long>(
+        rng.UniformInt(title_ids / 4, title_ids - 1));
+    switch (rng.UniformInt(0, 3)) {
+      case 0:
+        return StrFormat(
+            "select movie_id, company_id from movie_companies where "
+            "company_type_id = %lld and movie_id < %lld",
+            static_cast<long long>(rng.UniformInt(1, 4)), cut);
+      case 1:
+        return StrFormat(
+            "select movie_id, info_type_id from movie_info where "
+            "info_type_id = %lld and movie_id < %lld",
+            static_cast<long long>(rng.UniformInt(1, 20)), cut);
+      case 2:
+        return StrFormat(
+            "select movie_id, person_id from cast_info where role_id = "
+            "%lld and movie_id < %lld",
+            static_cast<long long>(rng.UniformInt(1, 11)), cut);
+      default:
+        return StrFormat(
+            "select movie_id, keyword_id from movie_keyword where "
+            "keyword_id < %lld and movie_id < %lld",
+            static_cast<long long>(rng.UniformInt(40, 300)), cut);
+    }
+  };
+
+  auto pick_pool = [&](int kind) -> const PoolEntry& {
+    for (int attempt = 0; attempt < 128; ++attempt) {
+      const size_t idx = static_cast<size_t>(
+          rng.Zipf(static_cast<int64_t>(pool.size()), 1.0));
+      if (pool[idx].kind == kind) return pool[idx];
+    }
+    for (const auto& entry : pool) {  // deterministic fallback, same kind
+      if (entry.kind == kind) return entry;
+    }
+    return pool[0];
+  };
+
+  // "Hot" (title, satellite) combos whose whole join is reused across
+  // different base queries; these shared joins become candidates that
+  // overlap their component subqueries (the paper's 74 overlap pairs).
+  struct HotCombo {
+    const PoolEntry* title;
+    const PoolEntry* satellite;
+  };
+  std::vector<HotCombo> hot_combos;
+  for (int c = 0; c < 8; ++c) {
+    hot_combos.push_back(
+        {&pick_pool(0), &pick_pool(static_cast<int>(rng.UniformInt(1, 5)))});
+  }
+
+  for (size_t q = 0; q < spec.base_queries; ++q) {
+    const bool use_hot = rng.Bernoulli(0.35);
+    const HotCombo combo =
+        use_hot ? hot_combos[static_cast<size_t>(rng.Zipf(
+                      static_cast<int64_t>(hot_combos.size()), 1.0))]
+                : HotCombo{&pick_pool(0),
+                           &pick_pool(static_cast<int>(rng.UniformInt(1, 5)))};
+    const PoolEntry& t = *combo.title;
+    const PoolEntry& s1 = *combo.satellite;
+    // Every query carries an unshared tail join (fresh satellite), so
+    // shared views cover only a fragment of the query.
+    const std::string fresh = make_fresh_satellite();
+    std::string sql = StrFormat(
+        "select t.kind_id, count(*) as cnt from (%s) t inner join (%s) a "
+        "on t.id = a.movie_id inner join (%s) b on t.id = b.movie_id group "
+        "by t.kind_id",
+        t.sql.c_str(), s1.sql.c_str(), fresh.c_str());
+    workload.sql.push_back(sql);
+    workload.project_of.push_back(0);
+
+    // Twin query with one mutated predicate (§VI-A: "we generate a new
+    // query for each raw query by manually modifying the predicates"):
+    // the title subquery's year changes, so the twin's join subtree is
+    // new, while the satellite subqueries stay shared.
+    std::string twin = sql;
+    const std::string marker = "production_year > ";
+    const size_t pos = twin.find(marker);
+    AV_CHECK(pos != std::string::npos);
+    const size_t year_at = pos + marker.size();
+    const int64_t year = std::atoll(twin.c_str() + year_at);
+    twin.replace(year_at, 4, std::to_string(year + 1));
+    // Also perturb the fresh tail's pruning predicate so the unshared
+    // part of the twin stays unshared.
+    const std::string cut_marker = "movie_id < ";
+    const size_t cut_pos = twin.rfind(cut_marker);
+    AV_CHECK(cut_pos != std::string::npos);
+    const size_t cut_at = cut_pos + cut_marker.size();
+    size_t cut_end = cut_at;
+    while (cut_end < twin.size() && std::isdigit(twin[cut_end])) ++cut_end;
+    const int64_t cut = std::atoll(twin.c_str() + cut_at);
+    twin.replace(cut_at, cut_end - cut_at,
+                 std::to_string(std::max<int64_t>(1, cut - 1)));
+    workload.sql.push_back(std::move(twin));
+    workload.project_of.push_back(0);
+  }
+
+  AV_CHECK(workload.db->ComputeAllStats().ok());
+  return workload;
+}
+
+}  // namespace autoview

