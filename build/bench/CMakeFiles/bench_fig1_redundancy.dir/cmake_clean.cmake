@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_redundancy.dir/bench_fig1_redundancy.cc.o"
+  "CMakeFiles/bench_fig1_redundancy.dir/bench_fig1_redundancy.cc.o.d"
+  "bench_fig1_redundancy"
+  "bench_fig1_redundancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_redundancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_cloud_advisor.dir/cloud_advisor.cpp.o"
+  "CMakeFiles/example_cloud_advisor.dir/cloud_advisor.cpp.o.d"
+  "example_cloud_advisor"
+  "example_cloud_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_cloud_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

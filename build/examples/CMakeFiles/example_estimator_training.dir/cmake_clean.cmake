@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_estimator_training.dir/estimator_training.cpp.o"
+  "CMakeFiles/example_estimator_training.dir/estimator_training.cpp.o.d"
+  "example_estimator_training"
+  "example_estimator_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_estimator_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

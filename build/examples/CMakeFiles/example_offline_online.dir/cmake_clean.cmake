@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_offline_online.dir/offline_online.cpp.o"
+  "CMakeFiles/example_offline_online.dir/offline_online.cpp.o.d"
+  "example_offline_online"
+  "example_offline_online.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_offline_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_rewrite_demo.dir/rewrite_demo.cpp.o"
+  "CMakeFiles/example_rewrite_demo.dir/rewrite_demo.cpp.o.d"
+  "example_rewrite_demo"
+  "example_rewrite_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_rewrite_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoview_catalog.dir/catalog/catalog.cc.o"
+  "CMakeFiles/autoview_catalog.dir/catalog/catalog.cc.o.d"
+  "CMakeFiles/autoview_catalog.dir/catalog/schema.cc.o"
+  "CMakeFiles/autoview_catalog.dir/catalog/schema.cc.o.d"
+  "CMakeFiles/autoview_catalog.dir/catalog/value.cc.o"
+  "CMakeFiles/autoview_catalog.dir/catalog/value.cc.o.d"
+  "libautoview_catalog.a"
+  "libautoview_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoview_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoview_core.dir/core/autoview.cc.o"
+  "CMakeFiles/autoview_core.dir/core/autoview.cc.o.d"
+  "CMakeFiles/autoview_core.dir/core/metadata.cc.o"
+  "CMakeFiles/autoview_core.dir/core/metadata.cc.o.d"
+  "libautoview_core.a"
+  "libautoview_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoview_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/costmodel/baselines.cc" "src/CMakeFiles/autoview_costmodel.dir/costmodel/baselines.cc.o" "gcc" "src/CMakeFiles/autoview_costmodel.dir/costmodel/baselines.cc.o.d"
+  "/root/repo/src/costmodel/encoders.cc" "src/CMakeFiles/autoview_costmodel.dir/costmodel/encoders.cc.o" "gcc" "src/CMakeFiles/autoview_costmodel.dir/costmodel/encoders.cc.o.d"
+  "/root/repo/src/costmodel/estimator.cc" "src/CMakeFiles/autoview_costmodel.dir/costmodel/estimator.cc.o" "gcc" "src/CMakeFiles/autoview_costmodel.dir/costmodel/estimator.cc.o.d"
+  "/root/repo/src/costmodel/features.cc" "src/CMakeFiles/autoview_costmodel.dir/costmodel/features.cc.o" "gcc" "src/CMakeFiles/autoview_costmodel.dir/costmodel/features.cc.o.d"
+  "/root/repo/src/costmodel/gbm.cc" "src/CMakeFiles/autoview_costmodel.dir/costmodel/gbm.cc.o" "gcc" "src/CMakeFiles/autoview_costmodel.dir/costmodel/gbm.cc.o.d"
+  "/root/repo/src/costmodel/traditional.cc" "src/CMakeFiles/autoview_costmodel.dir/costmodel/traditional.cc.o" "gcc" "src/CMakeFiles/autoview_costmodel.dir/costmodel/traditional.cc.o.d"
+  "/root/repo/src/costmodel/wide_deep.cc" "src/CMakeFiles/autoview_costmodel.dir/costmodel/wide_deep.cc.o" "gcc" "src/CMakeFiles/autoview_costmodel.dir/costmodel/wide_deep.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/autoview_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autoview_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autoview_subquery.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autoview_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autoview_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autoview_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autoview_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

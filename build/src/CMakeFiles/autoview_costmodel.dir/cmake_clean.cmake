@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoview_costmodel.dir/costmodel/baselines.cc.o"
+  "CMakeFiles/autoview_costmodel.dir/costmodel/baselines.cc.o.d"
+  "CMakeFiles/autoview_costmodel.dir/costmodel/encoders.cc.o"
+  "CMakeFiles/autoview_costmodel.dir/costmodel/encoders.cc.o.d"
+  "CMakeFiles/autoview_costmodel.dir/costmodel/estimator.cc.o"
+  "CMakeFiles/autoview_costmodel.dir/costmodel/estimator.cc.o.d"
+  "CMakeFiles/autoview_costmodel.dir/costmodel/features.cc.o"
+  "CMakeFiles/autoview_costmodel.dir/costmodel/features.cc.o.d"
+  "CMakeFiles/autoview_costmodel.dir/costmodel/gbm.cc.o"
+  "CMakeFiles/autoview_costmodel.dir/costmodel/gbm.cc.o.d"
+  "CMakeFiles/autoview_costmodel.dir/costmodel/traditional.cc.o"
+  "CMakeFiles/autoview_costmodel.dir/costmodel/traditional.cc.o.d"
+  "CMakeFiles/autoview_costmodel.dir/costmodel/wide_deep.cc.o"
+  "CMakeFiles/autoview_costmodel.dir/costmodel/wide_deep.cc.o.d"
+  "libautoview_costmodel.a"
+  "libautoview_costmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoview_costmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

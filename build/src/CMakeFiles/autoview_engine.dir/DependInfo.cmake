@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/cost.cc" "src/CMakeFiles/autoview_engine.dir/engine/cost.cc.o" "gcc" "src/CMakeFiles/autoview_engine.dir/engine/cost.cc.o.d"
+  "/root/repo/src/engine/database.cc" "src/CMakeFiles/autoview_engine.dir/engine/database.cc.o" "gcc" "src/CMakeFiles/autoview_engine.dir/engine/database.cc.o.d"
+  "/root/repo/src/engine/executor.cc" "src/CMakeFiles/autoview_engine.dir/engine/executor.cc.o" "gcc" "src/CMakeFiles/autoview_engine.dir/engine/executor.cc.o.d"
+  "/root/repo/src/engine/rewriter.cc" "src/CMakeFiles/autoview_engine.dir/engine/rewriter.cc.o" "gcc" "src/CMakeFiles/autoview_engine.dir/engine/rewriter.cc.o.d"
+  "/root/repo/src/engine/table.cc" "src/CMakeFiles/autoview_engine.dir/engine/table.cc.o" "gcc" "src/CMakeFiles/autoview_engine.dir/engine/table.cc.o.d"
+  "/root/repo/src/engine/view_store.cc" "src/CMakeFiles/autoview_engine.dir/engine/view_store.cc.o" "gcc" "src/CMakeFiles/autoview_engine.dir/engine/view_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/autoview_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autoview_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autoview_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autoview_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

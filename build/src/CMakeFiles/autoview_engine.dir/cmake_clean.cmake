@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoview_engine.dir/engine/cost.cc.o"
+  "CMakeFiles/autoview_engine.dir/engine/cost.cc.o.d"
+  "CMakeFiles/autoview_engine.dir/engine/database.cc.o"
+  "CMakeFiles/autoview_engine.dir/engine/database.cc.o.d"
+  "CMakeFiles/autoview_engine.dir/engine/executor.cc.o"
+  "CMakeFiles/autoview_engine.dir/engine/executor.cc.o.d"
+  "CMakeFiles/autoview_engine.dir/engine/rewriter.cc.o"
+  "CMakeFiles/autoview_engine.dir/engine/rewriter.cc.o.d"
+  "CMakeFiles/autoview_engine.dir/engine/table.cc.o"
+  "CMakeFiles/autoview_engine.dir/engine/table.cc.o.d"
+  "CMakeFiles/autoview_engine.dir/engine/view_store.cc.o"
+  "CMakeFiles/autoview_engine.dir/engine/view_store.cc.o.d"
+  "libautoview_engine.a"
+  "libautoview_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoview_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

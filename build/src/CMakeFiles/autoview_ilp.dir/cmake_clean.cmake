@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoview_ilp.dir/ilp/branch_and_bound.cc.o"
+  "CMakeFiles/autoview_ilp.dir/ilp/branch_and_bound.cc.o.d"
+  "CMakeFiles/autoview_ilp.dir/ilp/problem.cc.o"
+  "CMakeFiles/autoview_ilp.dir/ilp/problem.cc.o.d"
+  "libautoview_ilp.a"
+  "libautoview_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoview_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoview_nn.dir/nn/modules.cc.o"
+  "CMakeFiles/autoview_nn.dir/nn/modules.cc.o.d"
+  "CMakeFiles/autoview_nn.dir/nn/optimizer.cc.o"
+  "CMakeFiles/autoview_nn.dir/nn/optimizer.cc.o.d"
+  "CMakeFiles/autoview_nn.dir/nn/serialize.cc.o"
+  "CMakeFiles/autoview_nn.dir/nn/serialize.cc.o.d"
+  "CMakeFiles/autoview_nn.dir/nn/tensor.cc.o"
+  "CMakeFiles/autoview_nn.dir/nn/tensor.cc.o.d"
+  "libautoview_nn.a"
+  "libautoview_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoview_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoview_plan.dir/plan/builder.cc.o"
+  "CMakeFiles/autoview_plan.dir/plan/builder.cc.o.d"
+  "CMakeFiles/autoview_plan.dir/plan/canonical.cc.o"
+  "CMakeFiles/autoview_plan.dir/plan/canonical.cc.o.d"
+  "CMakeFiles/autoview_plan.dir/plan/expr.cc.o"
+  "CMakeFiles/autoview_plan.dir/plan/expr.cc.o.d"
+  "CMakeFiles/autoview_plan.dir/plan/plan.cc.o"
+  "CMakeFiles/autoview_plan.dir/plan/plan.cc.o.d"
+  "libautoview_plan.a"
+  "libautoview_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoview_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/select/iterview.cc" "src/CMakeFiles/autoview_select.dir/select/iterview.cc.o" "gcc" "src/CMakeFiles/autoview_select.dir/select/iterview.cc.o.d"
+  "/root/repo/src/select/rlview.cc" "src/CMakeFiles/autoview_select.dir/select/rlview.cc.o" "gcc" "src/CMakeFiles/autoview_select.dir/select/rlview.cc.o.d"
+  "/root/repo/src/select/topk.cc" "src/CMakeFiles/autoview_select.dir/select/topk.cc.o" "gcc" "src/CMakeFiles/autoview_select.dir/select/topk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/autoview_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autoview_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autoview_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

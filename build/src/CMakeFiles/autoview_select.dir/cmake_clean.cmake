@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoview_select.dir/select/iterview.cc.o"
+  "CMakeFiles/autoview_select.dir/select/iterview.cc.o.d"
+  "CMakeFiles/autoview_select.dir/select/rlview.cc.o"
+  "CMakeFiles/autoview_select.dir/select/rlview.cc.o.d"
+  "CMakeFiles/autoview_select.dir/select/topk.cc.o"
+  "CMakeFiles/autoview_select.dir/select/topk.cc.o.d"
+  "libautoview_select.a"
+  "libautoview_select.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoview_select.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

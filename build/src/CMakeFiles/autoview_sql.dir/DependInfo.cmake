@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sql/ast.cc" "src/CMakeFiles/autoview_sql.dir/sql/ast.cc.o" "gcc" "src/CMakeFiles/autoview_sql.dir/sql/ast.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/autoview_sql.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/autoview_sql.dir/sql/parser.cc.o.d"
+  "/root/repo/src/sql/token.cc" "src/CMakeFiles/autoview_sql.dir/sql/token.cc.o" "gcc" "src/CMakeFiles/autoview_sql.dir/sql/token.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/autoview_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoview_sql.dir/sql/ast.cc.o"
+  "CMakeFiles/autoview_sql.dir/sql/ast.cc.o.d"
+  "CMakeFiles/autoview_sql.dir/sql/parser.cc.o"
+  "CMakeFiles/autoview_sql.dir/sql/parser.cc.o.d"
+  "CMakeFiles/autoview_sql.dir/sql/token.cc.o"
+  "CMakeFiles/autoview_sql.dir/sql/token.cc.o.d"
+  "libautoview_sql.a"
+  "libautoview_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoview_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

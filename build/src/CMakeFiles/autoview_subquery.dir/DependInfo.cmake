@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/subquery/clusterer.cc" "src/CMakeFiles/autoview_subquery.dir/subquery/clusterer.cc.o" "gcc" "src/CMakeFiles/autoview_subquery.dir/subquery/clusterer.cc.o.d"
+  "/root/repo/src/subquery/extractor.cc" "src/CMakeFiles/autoview_subquery.dir/subquery/extractor.cc.o" "gcc" "src/CMakeFiles/autoview_subquery.dir/subquery/extractor.cc.o.d"
+  "/root/repo/src/subquery/verify.cc" "src/CMakeFiles/autoview_subquery.dir/subquery/verify.cc.o" "gcc" "src/CMakeFiles/autoview_subquery.dir/subquery/verify.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/autoview_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autoview_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autoview_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autoview_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autoview_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoview_subquery.dir/subquery/clusterer.cc.o"
+  "CMakeFiles/autoview_subquery.dir/subquery/clusterer.cc.o.d"
+  "CMakeFiles/autoview_subquery.dir/subquery/extractor.cc.o"
+  "CMakeFiles/autoview_subquery.dir/subquery/extractor.cc.o.d"
+  "CMakeFiles/autoview_subquery.dir/subquery/verify.cc.o"
+  "CMakeFiles/autoview_subquery.dir/subquery/verify.cc.o.d"
+  "libautoview_subquery.a"
+  "libautoview_subquery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoview_subquery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libautoview_subquery.a"
+)

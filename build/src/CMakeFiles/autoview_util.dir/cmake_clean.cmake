@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoview_util.dir/util/logging.cc.o"
+  "CMakeFiles/autoview_util.dir/util/logging.cc.o.d"
+  "CMakeFiles/autoview_util.dir/util/metrics.cc.o"
+  "CMakeFiles/autoview_util.dir/util/metrics.cc.o.d"
+  "CMakeFiles/autoview_util.dir/util/random.cc.o"
+  "CMakeFiles/autoview_util.dir/util/random.cc.o.d"
+  "CMakeFiles/autoview_util.dir/util/status.cc.o"
+  "CMakeFiles/autoview_util.dir/util/status.cc.o.d"
+  "CMakeFiles/autoview_util.dir/util/strings.cc.o"
+  "CMakeFiles/autoview_util.dir/util/strings.cc.o.d"
+  "CMakeFiles/autoview_util.dir/util/table_printer.cc.o"
+  "CMakeFiles/autoview_util.dir/util/table_printer.cc.o.d"
+  "libautoview_util.a"
+  "libautoview_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoview_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/generator.cc" "src/CMakeFiles/autoview_workload.dir/workload/generator.cc.o" "gcc" "src/CMakeFiles/autoview_workload.dir/workload/generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/autoview_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autoview_subquery.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autoview_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autoview_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autoview_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autoview_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

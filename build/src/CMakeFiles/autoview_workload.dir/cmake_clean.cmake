@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoview_workload.dir/workload/generator.cc.o"
+  "CMakeFiles/autoview_workload.dir/workload/generator.cc.o.d"
+  "libautoview_workload.a"
+  "libautoview_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoview_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

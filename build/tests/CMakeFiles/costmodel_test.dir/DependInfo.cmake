@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/costmodel_test.cc" "tests/CMakeFiles/costmodel_test.dir/costmodel_test.cc.o" "gcc" "tests/CMakeFiles/costmodel_test.dir/costmodel_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/autoview_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autoview_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autoview_select.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autoview_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autoview_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autoview_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autoview_subquery.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autoview_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autoview_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autoview_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autoview_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autoview_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilp_select_test.dir/ilp_select_test.cc.o"
+  "CMakeFiles/ilp_select_test.dir/ilp_select_test.cc.o.d"
+  "ilp_select_test"
+  "ilp_select_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilp_select_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_extra_test.dir/nn_extra_test.cc.o"
+  "CMakeFiles/nn_extra_test.dir/nn_extra_test.cc.o.d"
+  "nn_extra_test"
+  "nn_extra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

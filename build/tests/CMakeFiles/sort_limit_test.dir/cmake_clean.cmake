@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sort_limit_test.dir/sort_limit_test.cc.o"
+  "CMakeFiles/sort_limit_test.dir/sort_limit_test.cc.o.d"
+  "sort_limit_test"
+  "sort_limit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sort_limit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_and_print_test.dir/table_and_print_test.cc.o"
+  "CMakeFiles/table_and_print_test.dir/table_and_print_test.cc.o.d"
+  "table_and_print_test"
+  "table_and_print_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_and_print_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
