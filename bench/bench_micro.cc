@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+
 #include "core/autoview.h"
 #include "costmodel/wide_deep.h"
 #include "nn/modules.h"
@@ -13,6 +15,7 @@
 #include "plan/canonical.h"
 #include "select/iterview.h"
 #include "sql/parser.h"
+#include "util/thread_pool.h"
 #include "workload/generator.h"
 
 namespace autoview {
@@ -159,6 +162,53 @@ void BM_IterViewIteration(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_IterViewIteration);
+
+/// Deterministic stand-in for one Estimate() call: enough transcendental
+/// work per (query, view) cell that the fill is compute-bound, like the
+/// Wide-Deep forward pass it models.
+double BenefitCellKernel(size_t i, size_t j) {
+  double acc = static_cast<double>(i * 131 + j * 17 + 1);
+  for (int it = 0; it < 400; ++it) {
+    acc = std::log(1.0 + std::fabs(std::sin(acc) * 1.7 + 0.3)) + acc * 1e-6 +
+          1.0;
+  }
+  return acc;
+}
+
+/// Thread-scaling over the benefit-matrix fill B(q, v): rows are chunked
+/// across a pool of state.range(0) workers, the reduction checksum stays
+/// on the calling thread. Run with --benchmark_filter=BenefitMatrixFill
+/// --benchmark_out=BENCH_scaling.json --benchmark_out_format=json to
+/// emit JSON; speedup(T) = real_time(threads:1) / real_time(threads:T).
+void BM_BenefitMatrixFill(benchmark::State& state) {
+  const size_t threads = static_cast<size_t>(state.range(0));
+  ThreadPool pool(threads);
+  const size_t nq = 96;
+  const size_t nz = 64;
+  std::vector<double> benefit(nq * nz, 0.0);
+  double checksum = 0.0;
+  for (auto _ : state) {
+    pool.ParallelFor(0, nq, [&](size_t i) {
+      for (size_t j = 0; j < nz; ++j) {
+        benefit[i * nz + j] = BenefitCellKernel(i, j);
+      }
+    });
+    checksum = 0.0;
+    for (double b : benefit) checksum += b;  // sequential reduction
+    benchmark::DoNotOptimize(checksum);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(nq * nz));
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["cells"] = static_cast<double>(nq * nz);
+}
+BENCHMARK(BM_BenefitMatrixFill)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace autoview

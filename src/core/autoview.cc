@@ -154,10 +154,12 @@ Result<MvsProblem> AutoViewSystem::EstimateProblem(
   for (auto& row : estimated.benefit) {
     std::fill(row.begin(), row.end(), 0.0);
   }
+  // Batched so parallel estimators (Wide-Deep) fill the benefit matrix
+  // across the pool; each dataset entry owns one (row, j) cell.
+  const std::vector<double> predicted = estimator.EstimateBatch(dataset_);
   for (size_t n = 0; n < dataset_.size(); ++n) {
     const auto& [row, j] = dataset_pairs_[n];
-    const double predicted = estimator.Estimate(dataset_[n]);
-    estimated.benefit[row][j] = dataset_[n].query_cost - predicted;
+    estimated.benefit[row][j] = dataset_[n].query_cost - predicted[n];
   }
   return estimated;
 }

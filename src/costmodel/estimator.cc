@@ -1,18 +1,24 @@
 #include "costmodel/estimator.h"
 
 #include "util/metrics.h"
+#include "util/thread_pool.h"
 
 namespace autoview {
 
+std::vector<double> CostEstimator::EstimateBatch(
+    const std::vector<CostSample>& samples, ThreadPool* /*pool*/) const {
+  std::vector<double> out;
+  out.reserve(samples.size());
+  for (const auto& sample : samples) out.push_back(Estimate(sample));
+  return out;
+}
+
 EstimatorMetrics EvaluateEstimator(const CostEstimator& estimator,
                                    const std::vector<CostSample>& samples) {
-  std::vector<double> y, yhat;
+  std::vector<double> y;
   y.reserve(samples.size());
-  yhat.reserve(samples.size());
-  for (const auto& sample : samples) {
-    y.push_back(sample.target);
-    yhat.push_back(estimator.Estimate(sample));
-  }
+  for (const auto& sample : samples) y.push_back(sample.target);
+  const std::vector<double> yhat = estimator.EstimateBatch(samples);
   EstimatorMetrics metrics;
   metrics.mae = MeanAbsoluteError(y, yhat);
   metrics.mape = MeanAbsolutePercentError(y, yhat);

@@ -8,6 +8,8 @@
 
 namespace autoview {
 
+class ThreadPool;
+
 /// \brief Common interface of all cost-estimation models compared in
 /// Table III: given (query, view, tables), predict A(q|v).
 class CostEstimator {
@@ -20,6 +22,15 @@ class CostEstimator {
   /// Predicts the cost of the rewritten query, in the same $ unit as
   /// CostSample::target.
   virtual double Estimate(const CostSample& sample) const = 0;
+
+  /// Predicts every sample; out[i] corresponds to samples[i]. The base
+  /// implementation is a sequential loop; estimators whose Estimate()
+  /// is pure (notably Wide-Deep) override it to chunk samples across
+  /// `pool` (DefaultPool() when null). Overrides must stay bit-identical
+  /// to the sequential loop for any thread count.
+  virtual std::vector<double> EstimateBatch(
+      const std::vector<CostSample>& samples,
+      ThreadPool* pool = nullptr) const;
 
   /// Display name used in benchmark tables ("W-D", "LR", ...).
   virtual std::string name() const = 0;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace autoview {
 
@@ -178,6 +179,16 @@ double WideDeepEstimator::Estimate(const CostSample& sample) const {
   Tensor pred = Forward(features, normalizer_.Apply(features.numeric));
   return std::max(
       0.0, std::exp(pred.item() * target_std_ + target_mean_) - kLogEps);
+}
+
+std::vector<double> WideDeepEstimator::EstimateBatch(
+    const std::vector<CostSample>& samples, ThreadPool* pool) const {
+  std::vector<double> out(samples.size(), 0.0);
+  if (!net_) return out;
+  ThreadPool& executor = pool ? *pool : DefaultPool();
+  executor.ParallelFor(0, samples.size(),
+                       [&](size_t i) { out[i] = Estimate(samples[i]); });
+  return out;
 }
 
 size_t WideDeepEstimator::NumParameters() const {

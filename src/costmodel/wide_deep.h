@@ -70,6 +70,14 @@ class WideDeepEstimator : public CostEstimator {
 
   Status Train(const std::vector<CostSample>& samples) override;
   double Estimate(const CostSample& sample) const override;
+
+  /// Parallel batched inference: rows are chunked across `pool`
+  /// (DefaultPool() when null). Forward passes only read the trained
+  /// parameters and each row writes its own output slot, so the result
+  /// is bit-identical to the sequential loop for any thread count.
+  std::vector<double> EstimateBatch(const std::vector<CostSample>& samples,
+                                    ThreadPool* pool = nullptr) const override;
+
   std::string name() const override;
 
   /// Per-epoch mean training loss (standardized space) of the last

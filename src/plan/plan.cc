@@ -356,7 +356,8 @@ std::vector<PlanNodePtr> PlanNode::Subtrees() const {
 }
 
 uint64_t PlanNode::Hash() const {
-  if (cached_hash_ != 0) return cached_hash_;
+  const uint64_t cached = cached_hash_.load(std::memory_order_relaxed);
+  if (cached != 0) return cached;
   uint64_t h = HashCombine(0x517cc1b727220a95ULL, static_cast<uint64_t>(op_));
   switch (op_) {
     case PlanOp::kTableScan:
@@ -393,7 +394,7 @@ uint64_t PlanNode::Hash() const {
   }
   for (const auto& child : children_) h = HashCombine(h, child->Hash());
   if (h == 0) h = 1;  // reserve 0 for "not yet computed"
-  cached_hash_ = h;
+  cached_hash_.store(h, std::memory_order_relaxed);
   return h;
 }
 

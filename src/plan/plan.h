@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <string>
@@ -176,7 +177,9 @@ class PlanNode {
   int64_t limit_ = -1;
   std::vector<PlanNodePtr> children_;
   std::vector<OutputColumn> output_;
-  mutable uint64_t cached_hash_ = 0;
+  // Lazily computed; atomic because shared subtrees are hashed
+  // concurrently from pool workers (idempotent, so relaxed is enough).
+  mutable std::atomic<uint64_t> cached_hash_{0};
 
   friend class PlanBuilderAccess;
 };

@@ -1,6 +1,9 @@
 #include "select/iterview.h"
 
 #include <algorithm>
+#include <utility>
+
+#include "util/thread_pool.h"
 
 namespace autoview {
 
@@ -95,10 +98,22 @@ IterViewSelector IterViewSelector::BigSub(size_t iterations, uint64_t seed) {
   return IterViewSelector(options);
 }
 
-Result<MvsSolution> IterViewSelector::Select(const MvsProblem& problem) {
-  AV_RETURN_NOT_OK(problem.Validate());
-  trace_.clear();
-  Rng rng(options_.seed);
+namespace {
+
+/// Outcome of one independent seeded trial.
+struct TrialResult {
+  MvsSolution solution;
+  std::vector<double> trace;
+};
+
+/// One full IterView run (function IterView of the paper) under its own
+/// Rng stream. Pure: reads only `problem`/`options`, writes only the
+/// returned value, so trials can run concurrently.
+TrialResult RunTrial(const MvsProblem& problem,
+                     const IterViewSelector::Options& options,
+                     uint64_t seed) {
+  TrialResult trial;
+  Rng rng(seed);
   const size_t nz = problem.num_views();
   const size_t nq = problem.num_queries();
   YOptSolver yopt(&problem);
@@ -118,14 +133,14 @@ Result<MvsSolution> IterViewSelector::Select(const MvsProblem& problem) {
     }
   }
 
-  MvsSolution best;
+  MvsSolution& best = trial.solution;
   best.z = z;
   best.y = y;
   best.utility = EvaluateUtility(problem, z, y);
-  trace_.push_back(best.utility);
+  trial.trace.push_back(best.utility);
 
   std::vector<double> b_cur(nz, 0.0);
-  for (size_t iter = 0; iter < options_.iterations; ++iter) {
+  for (size_t iter = 0; iter < options.iterations; ++iter) {
     // Current benefit per view under y.
     std::fill(b_cur.begin(), b_cur.end(), 0.0);
     for (size_t i = 0; i < nq; ++i) {
@@ -136,18 +151,52 @@ Result<MvsSolution> IterViewSelector::Select(const MvsProblem& problem) {
       }
     }
     const double tau = rng.Uniform01();
-    const bool frozen = iter >= options_.freeze_selected_after;
+    const bool frozen = iter >= options.freeze_selected_after;
     internal::ZOptStep(problem, b_cur, tau, frozen, &z);
     y = yopt.SolveAll(z);
     const double utility = EvaluateUtility(problem, z, y);
-    trace_.push_back(utility);
+    trial.trace.push_back(utility);
     if (utility > best.utility) {
       best.z = z;
       best.y = y;
       best.utility = utility;
     }
   }
-  return best;
+  return trial;
+}
+
+}  // namespace
+
+Result<MvsSolution> IterViewSelector::Select(const MvsProblem& problem) {
+  AV_RETURN_NOT_OK(problem.Validate());
+  trace_.clear();
+
+  const size_t restarts = std::max<size_t>(1, options_.restarts);
+  std::vector<TrialResult> trials(restarts);
+  auto run_trial = [&](size_t r) {
+    // Restart 0 keeps the raw seed so restarts == 1 reproduces the
+    // historical single-trial stream exactly.
+    const uint64_t seed =
+        r == 0 ? options_.seed : Rng::StreamSeed(options_.seed, r);
+    trials[r] = RunTrial(problem, options_, seed);
+  };
+  if (restarts == 1) {
+    run_trial(0);
+  } else {
+    ThreadPool& pool = options_.pool ? *options_.pool : DefaultPool();
+    pool.ParallelFor(0, restarts, run_trial);
+  }
+
+  // Deterministic reduction: strict > keeps the lowest restart index on
+  // ties, regardless of which worker finished first.
+  size_t winner = 0;
+  for (size_t r = 1; r < restarts; ++r) {
+    if (trials[r].solution.utility > trials[winner].solution.utility) {
+      winner = r;
+    }
+  }
+  trace_ = std::move(trials[winner].trace);
+  return std::move(trials[winner].solution);
 }
 
 }  // namespace autoview

@@ -5,6 +5,8 @@
 
 namespace autoview {
 
+class ThreadPool;
+
 /// \brief The paper's IterView function (§V-A2): randomized iterative
 /// optimization alternating Z-Opt (probabilistic flips, Eq. 3) and the
 /// exact per-query Y-Opt.
@@ -14,12 +16,23 @@ namespace autoview {
 /// the convergence hack of BigSub [20], which the paper criticizes for
 /// degenerating into a greedy method. The factory functions below
 /// configure the two variants.
+///
+/// `restarts > 1` runs that many independent seeded trials — restart 0
+/// uses `seed` verbatim (so a single-restart run is unchanged from the
+/// historical behavior) and restart r uses Rng::StreamSeed(seed, r) —
+/// and keeps the maximum-utility solution, ties broken toward the lowest
+/// restart index. Trials execute concurrently on `pool` (DefaultPool()
+/// when null); because every trial owns its Rng stream and the winner is
+/// reduced in restart order on the calling thread, the outcome is
+/// bit-identical for any thread count, including 1.
 class IterViewSelector : public ViewSelector {
  public:
   struct Options {
     size_t iterations = 100;                 ///< n (or n1 inside RLView)
     size_t freeze_selected_after = SIZE_MAX; ///< BigSub threshold
     uint64_t seed = 42;
+    size_t restarts = 1;        ///< independent seeded trials, best kept
+    ThreadPool* pool = nullptr; ///< trial executor; null => DefaultPool()
   };
 
   explicit IterViewSelector(Options options)

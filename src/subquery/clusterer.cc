@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "plan/canonical.h"
+#include "util/thread_pool.h"
 
 namespace autoview {
 
@@ -27,21 +28,38 @@ WorkloadAnalysis SubqueryClusterer::Analyze(
     const std::vector<PlanNodePtr>& queries) const {
   WorkloadAnalysis analysis;
   analysis.num_queries = queries.size();
+  ThreadPool& pool = options_.pool ? *options_.pool : DefaultPool();
 
+  // Parallel phase: per-query extraction + canonical-key computation
+  // (the expensive part — keys render whole subtrees). Each task owns
+  // its query's output slot.
   SubqueryExtractor extractor(options_.extractor);
-  std::map<std::string, size_t> key_to_cluster;
-  for (size_t qi = 0; qi < queries.size(); ++qi) {
-    for (const auto& sub : extractor.Extract(queries[qi])) {
-      ++analysis.num_subqueries;
+  struct KeyedSubquery {
+    PlanNodePtr plan;
+    std::string key;
+  };
+  std::vector<std::vector<KeyedSubquery>> per_query(queries.size());
+  pool.ParallelFor(0, queries.size(), [&](size_t qi) {
+    for (auto& sub : extractor.Extract(queries[qi])) {
       std::string key = CanonicalKey(*sub);
+      per_query[qi].push_back({std::move(sub), std::move(key)});
+    }
+  });
+
+  // Sequential merge in query order, so cluster ids are identical to a
+  // single-threaded pass.
+  std::map<std::string, size_t> key_to_cluster;
+  for (size_t qi = 0; qi < per_query.size(); ++qi) {
+    for (const auto& sub : per_query[qi]) {
+      ++analysis.num_subqueries;
       auto [it, inserted] =
-          key_to_cluster.emplace(std::move(key), analysis.clusters.size());
+          key_to_cluster.emplace(sub.key, analysis.clusters.size());
       if (inserted) {
         SubqueryCluster cluster;
-        cluster.canonical_key = CanonicalKey(*sub);
+        cluster.canonical_key = sub.key;
         analysis.clusters.push_back(std::move(cluster));
       }
-      analysis.clusters[it->second].occurrences.push_back({qi, sub});
+      analysis.clusters[it->second].occurrences.push_back({qi, sub.plan});
     }
   }
 
@@ -83,10 +101,12 @@ WorkloadAnalysis SubqueryClusterer::Analyze(
   }
   analysis.associated_queries.assign(associated.begin(), associated.end());
 
-  // Pairwise overlap between candidates (Definition 5).
+  // Pairwise overlap between candidates (Definition 5), parallel over
+  // rows: task j scans k > j in order and owns overlapping[j], so the
+  // table is independent of scheduling.
   const size_t z = analysis.candidates.size();
   analysis.overlapping.assign(z, {});
-  for (size_t j = 0; j < z; ++j) {
+  pool.ParallelFor(0, z, [&](size_t j) {
     const auto& pj = analysis.clusters[analysis.candidates[j]].candidate;
     for (size_t k = j + 1; k < z; ++k) {
       const auto& pk = analysis.clusters[analysis.candidates[k]].candidate;
@@ -94,7 +114,7 @@ WorkloadAnalysis SubqueryClusterer::Analyze(
         analysis.overlapping[j].push_back(k);
       }
     }
-  }
+  });
   return analysis;
 }
 

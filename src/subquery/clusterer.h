@@ -64,6 +64,13 @@ struct WorkloadAnalysis {
 ///
 /// Equivalence detection substitutes EQUITAS [45] with canonical-form
 /// comparison (see plan/canonical.h).
+///
+/// The two expensive phases — per-query subquery extraction with
+/// canonical-key computation, and pairwise candidate-overlap detection —
+/// run across Options::pool. Both are deterministic under any thread
+/// count: extraction results are merged on the calling thread in query
+/// order (so cluster ids match a sequential run), and each overlap task
+/// owns exactly one row of the overlap table.
 class SubqueryClusterer {
  public:
   struct Options {
@@ -71,6 +78,8 @@ class SubqueryClusterer {
     /// A cluster becomes a candidate when members appear in at least
     /// this many distinct queries (sharing is what creates benefit).
     size_t min_sharing = 2;
+    /// Executor for the parallel phases; null => DefaultPool().
+    ThreadPool* pool = nullptr;
   };
 
   /// Optional cost oracle used to pick each cluster's least-overhead

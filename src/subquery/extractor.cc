@@ -1,5 +1,7 @@
 #include "subquery/extractor.h"
 
+#include "util/thread_pool.h"
+
 namespace autoview {
 
 std::vector<PlanNodePtr> SubqueryExtractor::Extract(
@@ -17,6 +19,15 @@ std::vector<PlanNodePtr> SubqueryExtractor::Extract(
     if (node->NumOperators() < options_.min_operators) continue;
     out.push_back(node);
   }
+  return out;
+}
+
+std::vector<std::vector<PlanNodePtr>> SubqueryExtractor::ExtractAll(
+    const std::vector<PlanNodePtr>& queries, ThreadPool* pool) const {
+  std::vector<std::vector<PlanNodePtr>> out(queries.size());
+  ThreadPool& executor = pool ? *pool : DefaultPool();
+  executor.ParallelFor(0, queries.size(),
+                       [&](size_t qi) { out[qi] = Extract(queries[qi]); });
   return out;
 }
 

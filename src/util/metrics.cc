@@ -6,6 +6,26 @@
 
 namespace autoview {
 
+void PoolCounters::RecordTask(uint64_t nanos) {
+  tasks_run_.fetch_add(1, std::memory_order_relaxed);
+  busy_nanos_.fetch_add(nanos, std::memory_order_relaxed);
+}
+
+void PoolCounters::RecordQueueDepth(uint64_t depth) {
+  uint64_t seen = max_queue_depth_.load(std::memory_order_relaxed);
+  while (depth > seen && !max_queue_depth_.compare_exchange_weak(
+                             seen, depth, std::memory_order_relaxed)) {
+  }
+}
+
+PoolCounters::Snapshot PoolCounters::Read() const {
+  Snapshot s;
+  s.tasks_run = tasks_run_.load(std::memory_order_relaxed);
+  s.max_queue_depth = max_queue_depth_.load(std::memory_order_relaxed);
+  s.busy_nanos = busy_nanos_.load(std::memory_order_relaxed);
+  return s;
+}
+
 void RunningStat::Add(double x) {
   if (n_ == 0) {
     min_ = max_ = x;

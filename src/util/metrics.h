@@ -1,9 +1,36 @@
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace autoview {
+
+/// \brief Lock-free execution counters of one ThreadPool, so parallel
+/// speedup is observable without a profiler: tasks executed, the highest
+/// queue depth seen, and total busy wall time across workers.
+class PoolCounters {
+ public:
+  /// Records one completed task that ran for `nanos` wall nanoseconds.
+  void RecordTask(uint64_t nanos);
+
+  /// Records the queue depth observed after an enqueue (keeps the max).
+  void RecordQueueDepth(uint64_t depth);
+
+  /// Consistent-enough point-in-time copy for reporting.
+  struct Snapshot {
+    uint64_t tasks_run = 0;        ///< tasks executed by workers
+    uint64_t max_queue_depth = 0;  ///< peak backlog
+    uint64_t busy_nanos = 0;       ///< summed per-task wall time
+  };
+  Snapshot Read() const;
+
+ private:
+  std::atomic<uint64_t> tasks_run_{0};
+  std::atomic<uint64_t> max_queue_depth_{0};
+  std::atomic<uint64_t> busy_nanos_{0};
+};
 
 /// \brief Streaming mean / variance / min / max accumulator (Welford).
 class RunningStat {

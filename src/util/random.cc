@@ -23,6 +23,13 @@ void Rng::Seed(uint64_t seed) {
   for (auto& s : state_) s = SplitMix64(&seed);
 }
 
+uint64_t Rng::StreamSeed(uint64_t seed, uint64_t stream) {
+  // Jump the SplitMix64 sequence by `stream + 1` increments, then mix
+  // once more, so stream 0 differs from the raw seed as well.
+  uint64_t x = seed + (stream + 1) * 0x9e3779b97f4a7c15ULL;
+  return SplitMix64(&x);
+}
+
 uint64_t Rng::Next() {
   const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
   const uint64_t t = state_[1] << 17;

@@ -20,6 +20,11 @@ class Rng {
   /// Re-seeds the generator; identical seeds give identical streams.
   void Seed(uint64_t seed);
 
+  /// Derives a decorrelated sub-stream seed from (seed, stream) via the
+  /// SplitMix64 finalizer. Parallel trials seed one Rng per stream so
+  /// results are independent of how trials are scheduled across threads.
+  static uint64_t StreamSeed(uint64_t seed, uint64_t stream);
+
   /// Next raw 64-bit value.
   uint64_t Next();
 

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "util/metrics.h"
+
+namespace autoview {
+
+/// \brief Fixed-size FIFO thread pool (no work stealing).
+///
+/// The pool backs the embarrassingly parallel hot paths of the system:
+/// multi-restart IterView trials, batched Wide-Deep inference over the
+/// benefit matrix, and subquery extraction / overlap detection. Every
+/// caller is required to produce results that are bit-identical to a
+/// sequential run, so the pool deliberately offers only order-free
+/// primitives: tasks write to disjoint output slots and all reductions
+/// happen on the calling thread in index order.
+///
+/// Nested use is safe by construction: Submit() and ParallelFor() called
+/// from inside a pool worker execute inline on that worker instead of
+/// enqueueing, so a task that blocks on work it spawned can never
+/// deadlock the (fixed) worker set.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return threads_.size(); }
+
+  /// Schedules `fn` and returns a future for its result. Exceptions
+  /// thrown by `fn` are captured and rethrown from future::get().
+  /// Called from a pool worker, runs inline (see class comment).
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    if (InWorker() || size() == 0) {
+      (*task)();
+    } else {
+      Enqueue([task] { (*task)(); });
+    }
+    return future;
+  }
+
+  /// Runs `fn(i)` for every i in [begin, end), blocking until all
+  /// indices completed. Indices are chunked into contiguous ranges of at
+  /// least `grain` each; the order in which chunks execute is
+  /// unspecified, so `fn` must only touch per-index state (e.g. slot i
+  /// of a preallocated output vector). If any invocation throws, the
+  /// exception of the lowest-index failing chunk is rethrown after all
+  /// chunks finished.
+  void ParallelFor(size_t begin, size_t end,
+                   const std::function<void(size_t)>& fn, size_t grain = 1);
+
+  /// Per-pool execution counters (see PoolCounters).
+  const PoolCounters& counters() const { return counters_; }
+
+  /// True when the calling thread is a worker of *any* ThreadPool.
+  static bool InWorker();
+
+ private:
+  void Enqueue(std::function<void()> task);
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  PoolCounters counters_;
+};
+
+/// Number of threads the default pool uses: the AUTOVIEW_THREADS
+/// environment variable when set to a positive integer, otherwise
+/// std::thread::hardware_concurrency() (at least 1).
+size_t DefaultThreadCount();
+
+/// Lazily constructed process-wide pool of DefaultThreadCount() workers.
+ThreadPool& DefaultPool();
+
+}  // namespace autoview

@@ -1,0 +1,40 @@
+// Shared random-instance generators for the property/determinism test
+// suites. Everything here is seed-deterministic so suites can assert
+// bit-identical results across configurations (e.g. thread counts).
+
+#pragma once
+
+#include "ilp/problem.h"
+#include "util/random.h"
+
+namespace autoview {
+namespace testing {
+
+/// A random MVS instance: dense-ish benefit matrix, uniform overheads,
+/// symmetric sparse overlap flags.
+inline MvsProblem RandomProblem(size_t nq, size_t nz, uint64_t seed) {
+  Rng rng(seed);
+  MvsProblem p;
+  p.overhead.resize(nz);
+  p.frequency.assign(nz, 0);
+  for (auto& o : p.overhead) o = rng.Uniform(0.5, 5.0);
+  p.benefit.assign(nq, std::vector<double>(nz, 0.0));
+  for (auto& row : p.benefit) {
+    for (size_t j = 0; j < nz; ++j) {
+      if (rng.Bernoulli(0.35)) {
+        row[j] = rng.Uniform(0.1, 3.0);
+        ++p.frequency[j];
+      }
+    }
+  }
+  p.overlap.assign(nz, std::vector<bool>(nz, false));
+  for (size_t j = 0; j < nz; ++j) {
+    for (size_t k = j + 1; k < nz; ++k) {
+      if (rng.Bernoulli(0.2)) p.overlap[j][k] = p.overlap[k][j] = true;
+    }
+  }
+  return p;
+}
+
+}  // namespace testing
+}  // namespace autoview

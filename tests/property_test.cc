@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "engine/executor.h"
+#include "generators.h"
 #include "engine/rewriter.h"
 #include "engine/view_store.h"
 #include "nn/modules.h"
@@ -170,29 +171,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, EngineInvariantsP,
 // dominates heuristics.
 // ---------------------------------------------------------------------------
 
-MvsProblem RandomProblem(size_t nq, size_t nz, uint64_t seed) {
-  Rng rng(seed);
-  MvsProblem p;
-  p.overhead.resize(nz);
-  p.frequency.assign(nz, 0);
-  for (auto& o : p.overhead) o = rng.Uniform(0.5, 5.0);
-  p.benefit.assign(nq, std::vector<double>(nz, 0.0));
-  for (auto& row : p.benefit) {
-    for (size_t j = 0; j < nz; ++j) {
-      if (rng.Bernoulli(0.35)) {
-        row[j] = rng.Uniform(0.1, 3.0);
-        ++p.frequency[j];
-      }
-    }
-  }
-  p.overlap.assign(nz, std::vector<bool>(nz, false));
-  for (size_t j = 0; j < nz; ++j) {
-    for (size_t k = j + 1; k < nz; ++k) {
-      if (rng.Bernoulli(0.2)) p.overlap[j][k] = p.overlap[k][j] = true;
-    }
-  }
-  return p;
-}
+using testing::RandomProblem;
 
 class SelectorInvariantsP : public ::testing::TestWithParam<uint64_t> {};
 
