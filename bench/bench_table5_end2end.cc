@@ -12,10 +12,12 @@
 #include <memory>
 
 #include "bench_common.h"
+#include "costmodel/fallback.h"
 #include "costmodel/traditional.h"
 #include "costmodel/wide_deep.h"
 #include "select/iterview.h"
 #include "select/rlview.h"
+#include "util/metrics.h"
 
 namespace {
 
@@ -84,16 +86,20 @@ int main() {
     WideDeepOptions wd_opts = WideDeepOptions::Full();
     wd_opts.epochs = 20;
     WideDeepEstimator wd(catalog, wd_opts);
-    AV_CHECK(optimizer.Train(setup.system->cost_dataset()).ok());
-    AV_CHECK(wd.Train(setup.system->cost_dataset()).ok());
+    // The W-D combos go through the degradation wrapper: a NaN/Inf
+    // prediction (or failed training) falls back to the Optimizer per
+    // call instead of poisoning the benefit matrix. Pass-through when
+    // healthy, so Table V numbers are unchanged.
+    FallbackEstimator guarded(&wd, &optimizer);
+    AV_CHECK(guarded.Train(setup.system->cost_dataset()).ok());
 
     std::vector<ComboResult> combos;
     for (const auto& [combo_name, estimator] :
          std::vector<std::pair<std::string, const CostEstimator*>>{
              {"O&B", &optimizer},
              {"O&R", &optimizer},
-             {"W&B", &wd},
-             {"W&R", &wd}}) {
+             {"W&B", &guarded},
+             {"W&R", &guarded}}) {
       auto estimated = setup.system->EstimateProblem(*estimator);
       AV_CHECK(estimated.ok());
       Result<MvsSolution> solution = [&]() -> Result<MvsSolution> {
@@ -126,6 +132,11 @@ int main() {
                     FormatDouble(100.0 * r.ratio(), 2)});
     }
     table.Print();
+    if (guarded.fallback_calls() > 0) {
+      std::printf("  [degraded] %llu W-D predictions served by %s\n",
+                  static_cast<unsigned long long>(guarded.fallback_calls()),
+                  optimizer.name().c_str());
+    }
     obr_ratio.push_back(combos[0].report.ratio());
     wrr_ratio.push_back(combos[3].report.ratio());
   }

@@ -8,6 +8,8 @@
 #include <cstdio>
 
 #include "core/autoview.h"
+#include "costmodel/fallback.h"
+#include "costmodel/traditional.h"
 #include "costmodel/wide_deep.h"
 #include "select/rlview.h"
 #include "util/strings.h"
@@ -50,7 +52,12 @@ int main() {
               wd.NumParameters(), wd.training_losses().back());
 
   // --- Back online: recommend views from the *estimated* utilities.
-  auto estimated = system.EstimateProblem(wd);
+  // The learned model runs behind the degradation wrapper: any NaN/Inf
+  // prediction (try AUTOVIEW_FAILPOINTS="wide_deep.infer=nan:0.3") is
+  // served by the traditional Optimizer instead, and counted.
+  TraditionalEstimator optimizer(&workload.db->catalog(), system.pricing());
+  FallbackEstimator guarded(&wd, &optimizer);
+  auto estimated = system.EstimateProblem(guarded);
   AV_CHECK(estimated.ok());
   RLViewSelector::Options rl_opts;
   rl_opts.init_iterations = 10;
@@ -66,6 +73,11 @@ int main() {
       "benefit %.4e$, overhead %.4e$, saving ratio %.2f%%\n",
       report.value().num_views, report.value().benefit,
       report.value().view_overhead, 100.0 * report.value().ratio());
+  if (guarded.fallback_calls() > 0) {
+    std::printf("Degraded gracefully: %llu predictions served by %s\n",
+                static_cast<unsigned long long>(guarded.fallback_calls()),
+                optimizer.name().c_str());
+  }
   std::remove(meta_path.c_str());
   return 0;
 }

@@ -1,0 +1,27 @@
+#!/bin/sh
+# Lints the library for naked process-killing calls. Library code must
+# report failures through Status/Result so a malformed query, corrupt
+# model file, or injected fault degrades one operation instead of taking
+# the whole process down. The single sanctioned abort lives in
+# util/logging.h behind AV_CHECK (fatal invariant violations only).
+#
+# Run from the repo root (or via ctest, which sets the working dir).
+set -u
+
+root="$(dirname "$0")/.."
+offenders=$(grep -rn --include='*.h' --include='*.cc' \
+    -e 'std::abort[[:space:]]*(' \
+    -e '[^_[:alnum:]]abort[[:space:]]*(' \
+    -e '[^_[:alnum:]]exit[[:space:]]*(' \
+    -e '^exit[[:space:]]*(' \
+    "$root/src" | grep -v 'util/logging\.h' | grep -v '//.*abort')
+
+if [ -n "$offenders" ]; then
+  echo "naked abort()/exit() calls found in library code:" >&2
+  echo "$offenders" >&2
+  echo "use Status/Result (util/status.h) instead; AV_CHECK is reserved" >&2
+  echo "for unrecoverable invariant violations." >&2
+  exit 1
+fi
+echo "OK: no naked abort()/exit() in src/ (outside util/logging.h)"
+exit 0

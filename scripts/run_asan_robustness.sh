@@ -1,0 +1,36 @@
+#!/bin/sh
+# Builds the failpoint + deadline suites under AddressSanitizer and runs
+# them. The robustness layer exercises error paths (injected faults,
+# cancelled chunks, torn files) that ordinary builds rarely walk; ASan
+# catches leaks and lifetime bugs hiding on those paths.
+#
+# Exit codes: 0 on pass, 0 with a SKIP note when the toolchain cannot
+# configure an ASan build (e.g. missing runtime), 1 on build or test
+# failure.
+set -u
+
+root=$(CDPATH= cd -- "$(dirname "$0")/.." && pwd)
+build="${AUTOVIEW_ASAN_BUILD_DIR:-$root/build-asan-robustness}"
+
+mkdir -p "$build"
+if ! cmake -B "$build" -S "$root" -DAUTOVIEW_SANITIZE=address \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo >"$build/configure.log" 2>&1; then
+  echo "SKIP: cannot configure an AddressSanitizer build" \
+       "(see $build/configure.log)"
+  exit 0
+fi
+
+if ! cmake --build "$build" --target failpoint_test deadline_test \
+      persistence_test -j "$(nproc 2>/dev/null || echo 4)"; then
+  echo "FAIL: ASan build of the robustness suites failed" >&2
+  exit 1
+fi
+
+status=0
+for t in failpoint_test deadline_test persistence_test; do
+  echo "== $t (ASan) =="
+  if ! "$build/tests/$t"; then
+    status=1
+  fi
+done
+exit $status

@@ -14,12 +14,23 @@ AutoViewSystem::AutoViewSystem(Database* db, AutoViewOptions options)
     : db_(db), options_(options), executor_(db, options.pricing.consts) {}
 
 Status AutoViewSystem::LoadWorkload(const std::vector<std::string>& sql) {
-  sql_ = sql;
+  sql_.clear();
   queries_.clear();
+  skipped_queries_ = 0;
   PlanBuilder builder(&db_->catalog());
-  for (const auto& text : sql_) {
-    AV_ASSIGN_OR_RETURN(PlanNodePtr plan, builder.BuildFromSql(text));
-    queries_.push_back(std::move(plan));
+  for (const auto& text : sql) {
+    // A malformed or unsupported query degrades that query, not the
+    // whole workload (and certainly not the process): it is skipped and
+    // counted. sql_ stays parallel to queries_ for ExportMetadata.
+    Result<PlanNodePtr> plan = builder.BuildFromSql(text);
+    if (!plan.ok()) {
+      ++skipped_queries_;
+      AV_LOG(Warning) << "skipping workload query (" << plan.status().ToString()
+                      << "): " << text;
+      continue;
+    }
+    sql_.push_back(text);
+    queries_.push_back(std::move(plan).value());
   }
   SubqueryClusterer clusterer(options_.cluster);
   analysis_ = clusterer.Analyze(queries_);

@@ -71,7 +71,13 @@ class AutoViewSystem {
 
   /// Parses the workload and runs the pre-process stage (subquery
   /// extraction, equivalence clustering, candidate + overlap discovery).
+  /// Queries that fail to parse or plan are skipped (and counted in
+  /// skipped_queries()) rather than failing the whole workload.
   Status LoadWorkload(const std::vector<std::string>& sql);
+
+  /// Number of workload queries dropped by the last LoadWorkload()
+  /// because they failed to parse or plan.
+  size_t skipped_queries() const { return skipped_queries_; }
 
   const std::vector<PlanNodePtr>& queries() const { return queries_; }
   const WorkloadAnalysis& analysis() const { return analysis_; }
@@ -131,6 +137,7 @@ class AutoViewSystem {
   Executor executor_;
   std::vector<std::string> sql_;
   std::vector<PlanNodePtr> queries_;
+  size_t skipped_queries_ = 0;
   WorkloadAnalysis analysis_;
   std::vector<CandidateInfo> candidates_;
   std::vector<double> query_costs_;

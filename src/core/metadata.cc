@@ -1,8 +1,10 @@
 #include "core/metadata.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 
+#include "util/failpoint.h"
 #include "util/strings.h"
 
 namespace autoview {
@@ -18,12 +20,24 @@ using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
 constexpr char kSep = '\t';
 
+/// Strict double parse: the whole field must be numeric. atof() would
+/// silently turn a corrupt field into 0.0 and poison training targets.
+Status ParseDouble(const std::string& field, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(field.c_str(), &end);
+  if (end == field.c_str() || *end != '\0') {
+    return Status::ParseError("non-numeric metadata field: " + field);
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Status MetadataStore::WriteInternal(const std::vector<MetadataRecord>& records,
-                                    const char* mode) const {
-  FilePtr f(std::fopen(path_.c_str(), mode));
-  if (!f) return Status::Internal("cannot open metadata store: " + path_);
+                                    const char* mode,
+                                    const std::string& path) const {
+  FilePtr f(std::fopen(path.c_str(), mode));
+  if (!f) return Status::Internal("cannot open metadata store: " + path);
   for (const auto& r : records) {
     for (const std::string* field : {&r.query_sql, &r.view_sql, &r.tables}) {
       if (field->find(kSep) != std::string::npos ||
@@ -36,18 +50,36 @@ Status MetadataStore::WriteInternal(const std::vector<MetadataRecord>& records,
                  r.query_sql.c_str(), r.view_sql.c_str(), r.tables.c_str(),
                  r.rewritten_cost, r.query_cost, r.subquery_cost);
   }
+  if (std::ferror(f.get())) {
+    return Status::Internal("write error: " + path);
+  }
   return Status::OK();
 }
 
 Status MetadataStore::Append(const std::vector<MetadataRecord>& records) const {
-  return WriteInternal(records, "ab");
+  return WriteInternal(records, "ab", path_);
 }
 
 Status MetadataStore::Write(const std::vector<MetadataRecord>& records) const {
-  return WriteInternal(records, "wb");
+  // Crash-safe replace: a full rewrite goes to a temp file and is
+  // renamed into place, so readers never observe a half-written store.
+  const std::string tmp = path_ + ".tmp";
+  const Status status = WriteInternal(records, "wb", tmp);
+  if (!status.ok()) {
+    std::remove(tmp.c_str());
+    return status;
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("cannot rename into place: " + path_);
+  }
+  return Status::OK();
 }
 
 Result<std::vector<MetadataRecord>> MetadataStore::Load() const {
+  if (AV_FAILPOINT("metadata.load") == FailAction::kCorrupt) {
+    return Status::ParseError("failpoint injected corruption at " + path_);
+  }
   FilePtr f(std::fopen(path_.c_str(), "rb"));
   if (!f) return Status::NotFound("no metadata store at: " + path_);
   std::vector<MetadataRecord> records;
@@ -68,10 +100,15 @@ Result<std::vector<MetadataRecord>> MetadataStore::Load() const {
     r.query_sql = fields[0];
     r.view_sql = fields[1];
     r.tables = fields[2];
-    r.rewritten_cost = std::atof(fields[3].c_str());
-    r.query_cost = std::atof(fields[4].c_str());
-    r.subquery_cost = std::atof(fields[5].c_str());
+    AV_RETURN_NOT_OK(ParseDouble(fields[3], &r.rewritten_cost));
+    AV_RETURN_NOT_OK(ParseDouble(fields[4], &r.query_cost));
+    AV_RETURN_NOT_OK(ParseDouble(fields[5], &r.subquery_cost));
     records.push_back(std::move(r));
+  }
+  // A final line without trailing '\n' is a torn append: report it
+  // rather than silently dropping or half-parsing it.
+  if (!line.empty()) {
+    return Status::ParseError("metadata store ends mid-record (torn write)");
   }
   return records;
 }

@@ -27,19 +27,24 @@ class MetadataStore {
   explicit MetadataStore(std::string path) : path_(std::move(path)) {}
 
   /// Appends records to the store file (creating it if needed).
+  /// Appends are in-place (not atomic); a crash mid-append leaves a torn
+  /// final record, which Load() reports as ParseError.
   Status Append(const std::vector<MetadataRecord>& records) const;
 
-  /// Replaces the store file with `records`.
+  /// Replaces the store file with `records`, atomically: the new
+  /// content is written to `<path>.tmp` and renamed into place.
   Status Write(const std::vector<MetadataRecord>& records) const;
 
-  /// Loads every record.
+  /// Loads every record. Corrupt stores (wrong field count, non-numeric
+  /// cost fields, torn trailing record) yield ParseError instead of
+  /// silently produced zero-cost records.
   Result<std::vector<MetadataRecord>> Load() const;
 
   const std::string& path() const { return path_; }
 
  private:
   Status WriteInternal(const std::vector<MetadataRecord>& records,
-                       const char* mode) const;
+                       const char* mode, const std::string& path) const;
 
   std::string path_;
 };

@@ -1,0 +1,61 @@
+#include "costmodel/fallback.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/metrics.h"
+
+namespace autoview {
+
+Status FallbackEstimator::Train(const std::vector<CostSample>& samples) {
+  AV_RETURN_NOT_OK(fallback_->Train(samples));
+  const Status primary = primary_->Train(samples);
+  if (!primary.ok()) {
+    MarkDegraded("training failed: " + primary.ToString());
+  } else {
+    degraded_ = false;
+    degraded_reason_.clear();
+  }
+  return Status::OK();
+}
+
+void FallbackEstimator::MarkDegraded(const std::string& reason) {
+  degraded_ = true;
+  degraded_reason_ = reason;
+  AV_LOG(Warning) << name() << " degraded to " << fallback_->name() << ": "
+                  << reason;
+}
+
+double FallbackEstimator::FallbackFor(const CostSample& sample) const {
+  fallback_calls_.fetch_add(1, std::memory_order_relaxed);
+  GlobalRobustness().RecordFallback();
+  return fallback_->Estimate(sample);
+}
+
+double FallbackEstimator::Estimate(const CostSample& sample) const {
+  if (degraded_) return FallbackFor(sample);
+  const double predicted = primary_->Estimate(sample);
+  if (!std::isfinite(predicted)) return FallbackFor(sample);
+  return predicted;
+}
+
+std::vector<double> FallbackEstimator::EstimateBatch(
+    const std::vector<CostSample>& samples, ThreadPool* pool) const {
+  if (degraded_) {
+    std::vector<double> out;
+    out.reserve(samples.size());
+    for (const auto& sample : samples) out.push_back(FallbackFor(sample));
+    return out;
+  }
+  std::vector<double> out = primary_->EstimateBatch(samples, pool);
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (!std::isfinite(out[i])) out[i] = FallbackFor(samples[i]);
+  }
+  return out;
+}
+
+std::string FallbackEstimator::name() const {
+  return primary_->name() + "+" + fallback_->name();
+}
+
+}  // namespace autoview

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "costmodel/estimator.h"
+
+namespace autoview {
+
+/// \brief Graceful degradation for learned cost models.
+///
+/// Wraps a primary estimator (typically Wide-Deep) and a fallback
+/// (typically the traditional statistics-based Optimizer, which cannot
+/// produce NaN and needs no trained weights). Per call, a primary
+/// prediction that is NaN/Inf is replaced by the fallback's prediction;
+/// when the primary is unusable altogether (training failed, model file
+/// corrupt/missing), the wrapper runs permanently degraded on the
+/// fallback. Every substituted call is counted locally and in
+/// GlobalRobustness().estimator_fallbacks, so a degraded run is visible
+/// to operators instead of silently producing garbage benefits.
+class FallbackEstimator : public CostEstimator {
+ public:
+  /// Both estimators must outlive the wrapper.
+  FallbackEstimator(CostEstimator* primary, CostEstimator* fallback)
+      : primary_(primary), fallback_(fallback) {}
+
+  /// Trains the fallback first (it must always be usable), then the
+  /// primary; a primary training failure degrades the wrapper instead
+  /// of propagating, a fallback failure propagates.
+  Status Train(const std::vector<CostSample>& samples) override;
+
+  double Estimate(const CostSample& sample) const override;
+
+  /// Batched path: primary batch prediction (parallel for estimators
+  /// that support it), then non-finite entries are patched one by one
+  /// from the fallback. Bit-identical for any thread count.
+  std::vector<double> EstimateBatch(const std::vector<CostSample>& samples,
+                                    ThreadPool* pool = nullptr) const override;
+
+  std::string name() const override;
+
+  /// Marks the primary unusable (e.g. after a failed model load); all
+  /// subsequent calls go straight to the fallback.
+  void MarkDegraded(const std::string& reason);
+
+  /// True when every call is served by the fallback.
+  bool degraded() const { return degraded_; }
+  /// Reason for degradation; empty when not degraded.
+  const std::string& degraded_reason() const { return degraded_reason_; }
+
+  /// Calls answered by the fallback (degraded calls included).
+  uint64_t fallback_calls() const {
+    return fallback_calls_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  double FallbackFor(const CostSample& sample) const;
+
+  CostEstimator* primary_;
+  CostEstimator* fallback_;
+  bool degraded_ = false;
+  std::string degraded_reason_;
+  mutable std::atomic<uint64_t> fallback_calls_{0};
+};
+
+}  // namespace autoview

@@ -1,7 +1,9 @@
 #include "costmodel/wide_deep.h"
 
 #include <cmath>
+#include <limits>
 
+#include "util/failpoint.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -174,6 +176,11 @@ Status WideDeepEstimator::Train(const std::vector<CostSample>& samples) {
 }
 
 double WideDeepEstimator::Estimate(const CostSample& sample) const {
+  // Fault site standing in for a stale/broken model emitting NaN; a
+  // FallbackEstimator wrapper turns this into a traditional-model call.
+  if (AV_FAILPOINT("wide_deep.infer") == FailAction::kNan) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
   if (!net_) return 0.0;
   Features features = extractor_.Extract(sample);
   Tensor pred = Forward(features, normalizer_.Apply(features.numeric));
@@ -183,8 +190,9 @@ double WideDeepEstimator::Estimate(const CostSample& sample) const {
 
 std::vector<double> WideDeepEstimator::EstimateBatch(
     const std::vector<CostSample>& samples, ThreadPool* pool) const {
+  // No untrained early-out: Estimate() handles !net_ per sample, and
+  // the wide_deep.infer fault site must fire on this path too.
   std::vector<double> out(samples.size(), 0.0);
-  if (!net_) return out;
   ThreadPool& executor = pool ? *pool : DefaultPool();
   executor.ParallelFor(0, samples.size(),
                        [&](size_t i) { out[i] = Estimate(samples[i]); });

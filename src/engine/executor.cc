@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "util/failpoint.h"
 #include "util/logging.h"
 
 namespace autoview {
@@ -173,6 +174,7 @@ Result<Executor::NodeResult> Executor::ExecDistinct(const PlanNode& node,
 
 Result<Executor::NodeResult> Executor::ExecScan(const PlanNode& node,
                                                 double* cpu) const {
+  AV_FAILPOINT_STATUS("executor.scan");
   AV_ASSIGN_OR_RETURN(const Table* table, db_->GetTable(node.table()));
   *cpu += consts_.scan_row * static_cast<double>(table->rows.size());
   NodeResult out;

@@ -1,11 +1,13 @@
 #include "engine/view_store.h"
 
 #include "plan/canonical.h"
+#include "util/failpoint.h"
 
 namespace autoview {
 
 Result<const MaterializedView*> MaterializedViewStore::Materialize(
     PlanNodePtr subquery, const Executor& executor) {
+  AV_FAILPOINT_STATUS("viewstore.materialize");
   if (!subquery) return Status::InvalidArgument("null subquery");
   std::string key = CanonicalKey(*subquery);
   if (auto it = by_key_.find(key); it != by_key_.end()) {

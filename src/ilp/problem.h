@@ -41,6 +41,10 @@ struct MvsSolution {
   std::vector<bool> z;               ///< |Z| materialization flags
   std::vector<std::vector<bool>> y;  ///< |Q| x |Z| usage flags
   double utility = 0.0;
+  /// True when the producing selector hit its deadline (or was
+  /// cancelled) and returned its best-so-far incumbent rather than a
+  /// fully converged solution. The incumbent is still feasible.
+  bool timed_out = false;
 };
 
 /// Utility of (z, y); does not check feasibility.

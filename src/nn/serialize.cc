@@ -3,7 +3,9 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <vector>
 
+#include "util/failpoint.h"
 #include "util/strings.h"
 
 namespace autoview {
@@ -12,7 +14,7 @@ namespace nn {
 namespace {
 
 constexpr char kMagic[4] = {'A', 'V', 'N', 'N'};
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersion = 2;
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -35,27 +37,60 @@ Status ReadBytes(std::FILE* f, void* data, size_t n) {
   return Status::OK();
 }
 
-}  // namespace
-
-Status SaveParameters(const std::vector<Tensor>& params,
-                      const std::string& path) {
-  FilePtr f(std::fopen(path.c_str(), "wb"));
-  if (!f) return Status::Internal("cannot open for writing: " + path);
-  AV_RETURN_NOT_OK(WriteBytes(f.get(), kMagic, sizeof(kMagic)));
-  AV_RETURN_NOT_OK(WriteBytes(f.get(), &kVersion, sizeof(kVersion)));
-  const uint64_t count = params.size();
-  AV_RETURN_NOT_OK(WriteBytes(f.get(), &count, sizeof(count)));
-  for (const auto& p : params) {
-    const uint64_t rows = p.rows(), cols = p.cols();
-    AV_RETURN_NOT_OK(WriteBytes(f.get(), &rows, sizeof(rows)));
-    AV_RETURN_NOT_OK(WriteBytes(f.get(), &cols, sizeof(cols)));
-    AV_RETURN_NOT_OK(WriteBytes(f.get(), p.data().data(),
-                                p.data().size() * sizeof(Scalar)));
+/// FNV-1a over `n` bytes: tiny, dependency-free, and plenty to catch
+/// truncation and bit rot (this is corruption detection, not crypto).
+uint64_t Fnv1a(const void* data, size_t n) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  uint64_t hash = 1469598103934665603ull;
+  for (size_t i = 0; i < n; ++i) {
+    hash ^= bytes[i];
+    hash *= 1099511628211ull;
   }
-  return Status::OK();
+  return hash;
 }
 
-Status LoadParameters(const std::string& path, std::vector<Tensor>* params) {
+void AppendBytes(std::vector<unsigned char>* buffer, const void* data,
+                 size_t n) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  buffer->insert(buffer->end(), bytes, bytes + n);
+}
+
+/// Sequential reader over an in-memory payload with bounds checking.
+class PayloadReader {
+ public:
+  PayloadReader(const unsigned char* data, size_t size)
+      : data_(data), size_(size) {}
+
+  // Overflow-safe bound checks: pos_ <= size_ always holds, so the
+  // remaining byte count never underflows.
+  Status Read(void* out, size_t n) {
+    if (n > size_ - pos_) {
+      return Status::ParseError("truncated model payload");
+    }
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  Status Skip(size_t n) {
+    if (n > size_ - pos_) {
+      return Status::ParseError("truncated model payload");
+    }
+    pos_ += n;
+    return Status::OK();
+  }
+
+ private:
+  const unsigned char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+/// Reads magic + version + checksum, then the remainder of the file into
+/// `payload`, verifying the checksum. Shared by LoadParameters and
+/// PeekShapes.
+Status ReadVerifiedPayload(const std::string& path,
+                           std::vector<unsigned char>* payload) {
   FilePtr f(std::fopen(path.c_str(), "rb"));
   if (!f) return Status::NotFound("cannot open: " + path);
   char magic[4];
@@ -69,8 +104,88 @@ Status LoadParameters(const std::string& path, std::vector<Tensor>* params) {
     return Status::Unsupported(
         StrFormat("model file version %u (expected %u)", version, kVersion));
   }
+  uint64_t expected_checksum = 0;
+  AV_RETURN_NOT_OK(
+      ReadBytes(f.get(), &expected_checksum, sizeof(expected_checksum)));
+
+  payload->clear();
+  unsigned char chunk[1 << 16];
+  size_t n;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), f.get())) > 0) {
+    payload->insert(payload->end(), chunk, chunk + n);
+  }
+  if (std::ferror(f.get())) {
+    return Status::Internal("read error: " + path);
+  }
+
+  // Fault site simulating on-disk corruption between save and load: a
+  // bit flip in the buffered payload, caught by the checksum below.
+  if (AV_FAILPOINT("serialize.load") == FailAction::kCorrupt &&
+      !payload->empty()) {
+    (*payload)[payload->size() / 2] ^= 0x40;
+  }
+
+  if (Fnv1a(payload->data(), payload->size()) != expected_checksum) {
+    return Status::ParseError("model file checksum mismatch (corrupt): " +
+                              path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveParameters(const std::vector<Tensor>& params,
+                      const std::string& path) {
+  // Serialize the payload in memory first so the checksum lands in the
+  // header and the file can be written in one pass.
+  std::vector<unsigned char> payload;
+  const uint64_t count = params.size();
+  AppendBytes(&payload, &count, sizeof(count));
+  for (const auto& p : params) {
+    const uint64_t rows = p.rows(), cols = p.cols();
+    AppendBytes(&payload, &rows, sizeof(rows));
+    AppendBytes(&payload, &cols, sizeof(cols));
+    AppendBytes(&payload, p.data().data(), p.data().size() * sizeof(Scalar));
+  }
+  const uint64_t checksum = Fnv1a(payload.data(), payload.size());
+
+  // Crash-safe: write everything to a temp file, then rename into
+  // place. Readers either see the old complete file or the new one,
+  // never a torn write.
+  const std::string tmp = path + ".tmp";
+  {
+    FilePtr f(std::fopen(tmp.c_str(), "wb"));
+    if (!f) return Status::Internal("cannot open for writing: " + tmp);
+    Status status = WriteBytes(f.get(), kMagic, sizeof(kMagic));
+    if (status.ok()) status = WriteBytes(f.get(), &kVersion, sizeof(kVersion));
+    if (status.ok()) status = WriteBytes(f.get(), &checksum, sizeof(checksum));
+    if (status.ok()) {
+      status = WriteBytes(f.get(), payload.data(), payload.size());
+    }
+    // Fault site simulating a crash/IO error before the commit point.
+    if (status.ok() &&
+        AV_FAILPOINT("serialize.save") == FailAction::kError) {
+      status = Status::Internal("failpoint injected error at serialize.save");
+    }
+    if (!status.ok()) {
+      f.reset();
+      std::remove(tmp.c_str());
+      return status;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("cannot rename into place: " + path);
+  }
+  return Status::OK();
+}
+
+Status LoadParameters(const std::string& path, std::vector<Tensor>* params) {
+  std::vector<unsigned char> payload;
+  AV_RETURN_NOT_OK(ReadVerifiedPayload(path, &payload));
+  PayloadReader reader(payload.data(), payload.size());
   uint64_t count = 0;
-  AV_RETURN_NOT_OK(ReadBytes(f.get(), &count, sizeof(count)));
+  AV_RETURN_NOT_OK(reader.Read(&count, sizeof(count)));
   if (count != params->size()) {
     return Status::InvalidArgument(
         StrFormat("model file holds %llu tensors, module expects %zu",
@@ -78,8 +193,8 @@ Status LoadParameters(const std::string& path, std::vector<Tensor>* params) {
   }
   for (auto& p : *params) {
     uint64_t rows = 0, cols = 0;
-    AV_RETURN_NOT_OK(ReadBytes(f.get(), &rows, sizeof(rows)));
-    AV_RETURN_NOT_OK(ReadBytes(f.get(), &cols, sizeof(cols)));
+    AV_RETURN_NOT_OK(reader.Read(&rows, sizeof(rows)));
+    AV_RETURN_NOT_OK(reader.Read(&cols, sizeof(cols)));
     if (rows != p.rows() || cols != p.cols()) {
       return Status::InvalidArgument(
           StrFormat("tensor shape mismatch: file %llux%llu vs module %zux%zu",
@@ -87,36 +202,29 @@ Status LoadParameters(const std::string& path, std::vector<Tensor>* params) {
                     static_cast<unsigned long long>(cols), p.rows(),
                     p.cols()));
     }
-    AV_RETURN_NOT_OK(ReadBytes(f.get(), p.mutable_data().data(),
-                               p.mutable_data().size() * sizeof(Scalar)));
+    AV_RETURN_NOT_OK(reader.Read(p.mutable_data().data(),
+                                 p.mutable_data().size() * sizeof(Scalar)));
   }
   return Status::OK();
 }
 
 Result<std::vector<std::pair<size_t, size_t>>> PeekShapes(
     const std::string& path) {
-  FilePtr f(std::fopen(path.c_str(), "rb"));
-  if (!f) return Status::NotFound("cannot open: " + path);
-  char magic[4];
-  AV_RETURN_NOT_OK(ReadBytes(f.get(), magic, sizeof(magic)));
-  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::ParseError("not an AVNN model file: " + path);
-  }
-  uint32_t version = 0;
-  AV_RETURN_NOT_OK(ReadBytes(f.get(), &version, sizeof(version)));
+  std::vector<unsigned char> payload;
+  AV_RETURN_NOT_OK(ReadVerifiedPayload(path, &payload));
+  PayloadReader reader(payload.data(), payload.size());
   uint64_t count = 0;
-  AV_RETURN_NOT_OK(ReadBytes(f.get(), &count, sizeof(count)));
+  AV_RETURN_NOT_OK(reader.Read(&count, sizeof(count)));
   std::vector<std::pair<size_t, size_t>> shapes;
   for (uint64_t i = 0; i < count; ++i) {
     uint64_t rows = 0, cols = 0;
-    AV_RETURN_NOT_OK(ReadBytes(f.get(), &rows, sizeof(rows)));
-    AV_RETURN_NOT_OK(ReadBytes(f.get(), &cols, sizeof(cols)));
-    shapes.emplace_back(rows, cols);
-    if (std::fseek(f.get(),
-                   static_cast<long>(rows * cols * sizeof(Scalar)),
-                   SEEK_CUR) != 0) {
-      return Status::ParseError("truncated model file");
+    AV_RETURN_NOT_OK(reader.Read(&rows, sizeof(rows)));
+    AV_RETURN_NOT_OK(reader.Read(&cols, sizeof(cols)));
+    if (cols != 0 && rows > SIZE_MAX / sizeof(Scalar) / cols) {
+      return Status::ParseError("tensor shape overflows");
     }
+    shapes.emplace_back(rows, cols);
+    AV_RETURN_NOT_OK(reader.Skip(rows * cols * sizeof(Scalar)));
   }
   return shapes;
 }

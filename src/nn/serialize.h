@@ -15,10 +15,18 @@ namespace nn {
 /// online recommendation path (Fig. 3); these helpers persist a
 /// module's parameter list to a simple self-describing binary file.
 ///
-/// Format: magic "AVNN", u32 version, u64 tensor count, then per tensor
+/// Format (version 2): magic "AVNN", u32 version, u64 FNV-1a checksum
+/// of the payload, then the payload: u64 tensor count and per tensor
 /// u64 rows, u64 cols, rows*cols doubles (little-endian host order).
+///
+/// Robustness guarantees:
+///  - Saves are crash-safe: the file is written to `<path>.tmp` and
+///    renamed into place, so a crash mid-save never leaves a truncated
+///    model at `path` (the previous model, if any, survives).
+///  - Loads verify the header checksum; a truncated or bit-flipped file
+///    yields Status::ParseError instead of garbage tensors.
 
-/// Writes `params` (in order) to `path`.
+/// Writes `params` (in order) to `path` (atomically, via temp+rename).
 Status SaveParameters(const std::vector<Tensor>& params,
                       const std::string& path);
 

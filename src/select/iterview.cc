@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "util/metrics.h"
 #include "util/thread_pool.h"
 
 namespace autoview {
@@ -104,6 +105,7 @@ namespace {
 struct TrialResult {
   MvsSolution solution;
   std::vector<double> trace;
+  bool timed_out = false;
 };
 
 /// One full IterView run (function IterView of the paper) under its own
@@ -141,6 +143,13 @@ TrialResult RunTrial(const MvsProblem& problem,
 
   std::vector<double> b_cur(nz, 0.0);
   for (size_t iter = 0; iter < options.iterations; ++iter) {
+    // Anytime behavior: bail out between iterations, keeping the best
+    // incumbent found so far. On an infinite deadline this never reads
+    // the clock, so deadline-free runs stay bit-identical.
+    if (StopRequested(options.deadline, options.cancel)) {
+      trial.timed_out = true;
+      break;
+    }
     // Current benefit per view under y.
     std::fill(b_cur.begin(), b_cur.end(), 0.0);
     for (size_t i = 0; i < nq; ++i) {
@@ -190,13 +199,31 @@ Result<MvsSolution> IterViewSelector::Select(const MvsProblem& problem) {
   // Deterministic reduction: strict > keeps the lowest restart index on
   // ties, regardless of which worker finished first.
   size_t winner = 0;
+  bool timed_out = trials[0].timed_out;
   for (size_t r = 1; r < restarts; ++r) {
+    timed_out = timed_out || trials[r].timed_out;
     if (trials[r].solution.utility > trials[winner].solution.utility) {
       winner = r;
     }
   }
   trace_ = std::move(trials[winner].trace);
-  return std::move(trials[winner].solution);
+  MvsSolution best = std::move(trials[winner].solution);
+  best.timed_out = timed_out;
+  if (timed_out) {
+    GlobalRobustness().RecordTimeout();
+    // Anytime guarantee: under a deadline so tight that only the random
+    // initialization ran, the incumbent can be worse than materializing
+    // nothing. The empty configuration is always feasible with utility
+    // 0, so never return less than that.
+    if (best.utility < 0.0) {
+      best.z.assign(problem.num_views(), false);
+      best.y.assign(problem.num_queries(),
+                    std::vector<bool>(problem.num_views(), false));
+      best.utility = 0.0;
+      trace_.push_back(best.utility);
+    }
+  }
+  return best;
 }
 
 }  // namespace autoview

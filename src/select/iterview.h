@@ -1,6 +1,7 @@
 #pragma once
 
 #include "select/selector.h"
+#include "util/deadline.h"
 #include "util/random.h"
 
 namespace autoview {
@@ -33,6 +34,18 @@ class IterViewSelector : public ViewSelector {
     uint64_t seed = 42;
     size_t restarts = 1;        ///< independent seeded trials, best kept
     ThreadPool* pool = nullptr; ///< trial executor; null => DefaultPool()
+
+    /// Anytime budget: trials poll the deadline once per iteration and,
+    /// when it expires, every trial stops and Select() returns the best
+    /// incumbent seen so far with MvsSolution::timed_out set. The
+    /// returned incumbent is always feasible with utility >= 0 (the
+    /// all-zeros configuration is substituted if the search had only
+    /// visited worse states). Infinite by default, which keeps the
+    /// historical bit-identical behavior.
+    Deadline deadline;
+    /// Cooperative external cancellation, same semantics as an expired
+    /// deadline. Copies share the flag; cancel from any thread.
+    CancellationToken cancel;
   };
 
   explicit IterViewSelector(Options options)

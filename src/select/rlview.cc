@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/metrics.h"
+
 namespace autoview {
 
 namespace {
@@ -108,12 +110,20 @@ Result<MvsSolution> RLViewSelector::Select(const MvsProblem& problem) {
   YOptSolver yopt(&problem);
   Rng rng(options_.seed);
 
-  // Warm start: Z0, Y0 <- IterView (Algorithm 2, line 2).
-  IterViewSelector warm =
-      IterViewSelector::IterView(options_.init_iterations, options_.seed);
+  // Warm start: Z0, Y0 <- IterView (Algorithm 2, line 2). The warm
+  // start inherits the deadline, so even a budget too small for any RL
+  // episode still yields a feasible (possibly all-zeros) incumbent.
+  IterViewSelector::Options warm_options;
+  warm_options.iterations = options_.init_iterations;
+  warm_options.seed = options_.seed;
+  warm_options.deadline = options_.deadline;
+  warm_options.cancel = options_.cancel;
+  IterViewSelector warm(warm_options);
   AV_ASSIGN_OR_RETURN(MvsSolution state, warm.Select(problem));
   for (double u : warm.utility_trace()) trace_.push_back(u);
   MvsSolution best = state;
+  bool timed_out = state.timed_out;
+  best.timed_out = false;  // set again below if the run was cut short
 
   // Per-problem invariants, cached once.
   std::vector<double> max_benefit(nz), overlap_degree(nz);
@@ -178,7 +188,8 @@ Result<MvsSolution> RLViewSelector::Select(const MvsProblem& problem) {
     return phis;
   };
 
-  for (size_t episode = 0; episode < options_.episodes; ++episode) {
+  for (size_t episode = 0; episode < options_.episodes && !timed_out;
+       ++episode) {
     // Linearly decaying exploration: explore early, exploit late.
     const double epsilon =
         options_.epsilon *
@@ -194,6 +205,12 @@ Result<MvsSolution> RLViewSelector::Select(const MvsProblem& problem) {
     size_t t = 0;
     double reward = 0.0;
     do {
+      // Anytime behavior: keep the incumbent, stop the episode. The
+      // infinite default never reads the clock (bit-identity).
+      if (StopRequested(options_.deadline, options_.cancel)) {
+        timed_out = true;
+        break;
+      }
       // Action selection: argmax_j Q(e_t)[j], epsilon-greedy.
       size_t action;
       if (rng.Bernoulli(epsilon)) {
@@ -267,6 +284,10 @@ Result<MvsSolution> RLViewSelector::Select(const MvsProblem& problem) {
       // positive; a hard cap bounds pathological positive-reward chains.
     } while ((t < max_steps || reward > 0.0) && t < 4 * max_steps);
   }
+  best.timed_out = timed_out;
+  // The warm start already recorded its own timeout; only count the
+  // episode phase here to keep one user-visible Select() == one record.
+  if (timed_out && !state.timed_out) GlobalRobustness().RecordTimeout();
   return best;
 }
 

@@ -43,6 +43,14 @@ class RLViewSelector : public ViewSelector {
     /// V(e) + A(e,a) - mean_a A(e,a), with separate value/advantage
     /// heads. Off by default (the paper's network is a plain MLP).
     bool dueling = false;
+
+    /// Anytime budget shared by the IterView warm start and the RL
+    /// episodes: polled between episode steps; on expiry Select()
+    /// returns the best incumbent seen with MvsSolution::timed_out set.
+    /// Infinite by default (historical behavior, no clock reads).
+    Deadline deadline;
+    /// Cooperative external cancellation (same effect as expiry).
+    CancellationToken cancel;
   };
 
   explicit RLViewSelector(Options options) : options_(options) {}

@@ -1,8 +1,7 @@
 #include "util/metrics.h"
 
 #include <cmath>
-
-#include "util/logging.h"
+#include <limits>
 
 namespace autoview {
 
@@ -26,6 +25,43 @@ PoolCounters::Snapshot PoolCounters::Read() const {
   return s;
 }
 
+void RobustnessCounters::RecordFallback() {
+  estimator_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void RobustnessCounters::RecordFaultInjected() {
+  faults_injected_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void RobustnessCounters::RecordTimeout() {
+  selection_timeouts_.fetch_add(1, std::memory_order_relaxed);
+}
+
+RobustnessCounters::Snapshot RobustnessCounters::Read() const {
+  Snapshot s;
+  s.estimator_fallbacks = estimator_fallbacks_.load(std::memory_order_relaxed);
+  s.faults_injected = faults_injected_.load(std::memory_order_relaxed);
+  s.selection_timeouts = selection_timeouts_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void RobustnessCounters::Reset() {
+  estimator_fallbacks_.store(0, std::memory_order_relaxed);
+  faults_injected_.store(0, std::memory_order_relaxed);
+  selection_timeouts_.store(0, std::memory_order_relaxed);
+}
+
+RobustnessCounters& GlobalRobustness() {
+  static RobustnessCounters counters;
+  return counters;
+}
+
+namespace {
+/// Library-boundary guard: mismatched inputs poison the metric (NaN)
+/// instead of aborting the process.
+double SizeMismatch() { return std::numeric_limits<double>::quiet_NaN(); }
+}  // namespace
+
 void RunningStat::Add(double x) {
   if (n_ == 0) {
     min_ = max_ = x;
@@ -48,7 +84,7 @@ double RunningStat::stddev() const { return std::sqrt(variance()); }
 
 double MeanAbsoluteError(const std::vector<double>& y,
                          const std::vector<double>& yhat) {
-  AV_CHECK_EQ(y.size(), yhat.size());
+  if (y.size() != yhat.size()) return SizeMismatch();
   if (y.empty()) return 0.0;
   double total = 0.0;
   for (size_t i = 0; i < y.size(); ++i) total += std::fabs(y[i] - yhat[i]);
@@ -57,7 +93,7 @@ double MeanAbsoluteError(const std::vector<double>& y,
 
 double MeanAbsolutePercentError(const std::vector<double>& y,
                                 const std::vector<double>& yhat, double eps) {
-  AV_CHECK_EQ(y.size(), yhat.size());
+  if (y.size() != yhat.size()) return SizeMismatch();
   if (y.empty()) return 0.0;
   double total = 0.0;
   for (size_t i = 0; i < y.size(); ++i) {
@@ -69,7 +105,7 @@ double MeanAbsolutePercentError(const std::vector<double>& y,
 
 double RootMeanSquaredError(const std::vector<double>& y,
                             const std::vector<double>& yhat) {
-  AV_CHECK_EQ(y.size(), yhat.size());
+  if (y.size() != yhat.size()) return SizeMismatch();
   if (y.empty()) return 0.0;
   double total = 0.0;
   for (size_t i = 0; i < y.size(); ++i) {
@@ -81,7 +117,7 @@ double RootMeanSquaredError(const std::vector<double>& y,
 
 double PearsonCorrelation(const std::vector<double>& y,
                           const std::vector<double>& yhat) {
-  AV_CHECK_EQ(y.size(), yhat.size());
+  if (y.size() != yhat.size()) return SizeMismatch();
   const size_t n = y.size();
   if (n == 0) return 0.0;
   double my = 0, mh = 0;

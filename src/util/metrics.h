@@ -32,6 +32,43 @@ class PoolCounters {
   std::atomic<uint64_t> busy_nanos_{0};
 };
 
+/// \brief Lock-free counters of the robustness layer: estimator
+/// fallbacks to the traditional cost model, injected faults (see
+/// util/failpoint.h), and selector deadline timeouts. A process-wide
+/// instance is reachable via GlobalRobustness() so operators can tell
+/// *how degraded* a run was, not just that it completed.
+class RobustnessCounters {
+ public:
+  /// One per-call fallback from a learned estimator to the traditional
+  /// cost model (NaN/Inf output or failed model load).
+  void RecordFallback();
+
+  /// One fault actually injected by an armed failpoint.
+  void RecordFaultInjected();
+
+  /// One selector Select() call that hit its deadline and returned its
+  /// best-so-far incumbent.
+  void RecordTimeout();
+
+  struct Snapshot {
+    uint64_t estimator_fallbacks = 0;
+    uint64_t faults_injected = 0;
+    uint64_t selection_timeouts = 0;
+  };
+  Snapshot Read() const;
+
+  /// Zeroes every counter (tests).
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> estimator_fallbacks_{0};
+  std::atomic<uint64_t> faults_injected_{0};
+  std::atomic<uint64_t> selection_timeouts_{0};
+};
+
+/// The process-wide robustness counters.
+RobustnessCounters& GlobalRobustness();
+
 /// \brief Streaming mean / variance / min / max accumulator (Welford).
 class RunningStat {
  public:
@@ -55,6 +92,8 @@ class RunningStat {
 };
 
 /// Mean Absolute Error between ground truth `y` and predictions `yhat`.
+/// These evaluation helpers are library boundaries: a size mismatch
+/// between the two vectors yields quiet NaN instead of aborting.
 double MeanAbsoluteError(const std::vector<double>& y,
                          const std::vector<double>& yhat);
 

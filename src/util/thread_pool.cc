@@ -68,7 +68,7 @@ void ThreadPool::WorkerLoop() {
 
 void ThreadPool::ParallelFor(size_t begin, size_t end,
                              const std::function<void(size_t)>& fn,
-                             size_t grain) {
+                             size_t grain, const CancellationToken* cancel) {
   if (begin >= end) return;
   const size_t range = end - begin;
   grain = std::max<size_t>(1, grain);
@@ -76,7 +76,10 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
   // Inline when parallelism cannot help (single worker, tiny range) or
   // must not be used (already on a worker; see class comment).
   if (InWorker() || size() <= 1 || range <= grain) {
-    for (size_t i = begin; i < end; ++i) fn(i);
+    for (size_t i = begin; i < end; ++i) {
+      if (cancel && cancel->Cancelled()) return;
+      fn(i);
+    }
     return;
   }
 
@@ -85,16 +88,27 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
   const size_t target_chunks = std::min(range, size() * 4);
   const size_t chunk = std::max(grain, (range + target_chunks - 1) / target_chunks);
 
+  // Shared by all chunks of this call: tripped by the first throwing
+  // chunk so queued-but-unstarted chunks skip instead of running to
+  // completion behind a failure.
+  CancellationToken failed;
   std::vector<std::future<void>> futures;
   futures.reserve((range + chunk - 1) / chunk);
   for (size_t lo = begin; lo < end; lo += chunk) {
     const size_t hi = std::min(end, lo + chunk);
-    futures.push_back(Submit([&fn, lo, hi] {
-      for (size_t i = lo; i < hi; ++i) fn(i);
+    futures.push_back(Submit([&fn, lo, hi, failed, cancel] {
+      if (failed.Cancelled() || (cancel && cancel->Cancelled())) return;
+      try {
+        for (size_t i = lo; i < hi; ++i) fn(i);
+      } catch (...) {
+        failed.RequestCancel();
+        throw;  // lands in the chunk's future
+      }
     }));
   }
   // Waiting in chunk order makes the rethrown exception (if any) the one
-  // from the lowest-index failing chunk, independent of scheduling.
+  // from the lowest-index chunk that ran and failed, independent of
+  // scheduling; chunks cancelled by an earlier failure resolve cleanly.
   std::exception_ptr first_error;
   for (auto& f : futures) {
     try {

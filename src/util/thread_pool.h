@@ -11,6 +11,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "util/deadline.h"
 #include "util/metrics.h"
 
 namespace autoview {
@@ -60,14 +61,23 @@ class ThreadPool {
   }
 
   /// Runs `fn(i)` for every i in [begin, end), blocking until all
-  /// indices completed. Indices are chunked into contiguous ranges of at
-  /// least `grain` each; the order in which chunks execute is
-  /// unspecified, so `fn` must only touch per-index state (e.g. slot i
-  /// of a preallocated output vector). If any invocation throws, the
-  /// exception of the lowest-index failing chunk is rethrown after all
-  /// chunks finished.
+  /// scheduled indices completed. Indices are chunked into contiguous
+  /// ranges of at least `grain` each; the order in which chunks execute
+  /// is unspecified, so `fn` must only touch per-index state (e.g. slot
+  /// i of a preallocated output vector).
+  ///
+  /// If any invocation throws, remaining *queued* chunks are cancelled
+  /// (they never run) and the exception of the lowest-index chunk that
+  /// actually ran and failed is rethrown; chunks already executing
+  /// finish normally.
+  ///
+  /// `cancel`, when given, is polled before each chunk (and between
+  /// indices on the inline path): once cancelled, remaining indices are
+  /// skipped without error. Callers that pass a token must therefore
+  /// tolerate partially-filled outputs.
   void ParallelFor(size_t begin, size_t end,
-                   const std::function<void(size_t)>& fn, size_t grain = 1);
+                   const std::function<void(size_t)>& fn, size_t grain = 1,
+                   const CancellationToken* cancel = nullptr);
 
   /// Per-pool execution counters (see PoolCounters).
   const PoolCounters& counters() const { return counters_; }

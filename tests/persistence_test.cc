@@ -2,10 +2,12 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "core/metadata.h"
 #include "nn/modules.h"
 #include "nn/serialize.h"
+#include "util/failpoint.h"
 #include "util/random.h"
 
 namespace autoview {
@@ -78,6 +80,86 @@ TEST(SerializeTest, MissingFileRejected) {
             StatusCode::kNotFound);
 }
 
+/// Reads the whole file into memory (for corruption tests).
+std::vector<unsigned char> Slurp(const std::string& path) {
+  std::vector<unsigned char> bytes;
+  FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr);
+  int c;
+  while ((c = std::fgetc(f)) != EOF) {
+    bytes.push_back(static_cast<unsigned char>(c));
+  }
+  std::fclose(f);
+  return bytes;
+}
+
+void Dump(const std::string& path, const std::vector<unsigned char>& bytes) {
+  FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+}
+
+TEST(SerializeTest, TruncatedFileRejected) {
+  Rng rng(5);
+  nn::Mlp mlp({3, 4, 1}, &rng);
+  const std::string path = TempPath("truncated.avnn");
+  ASSERT_TRUE(nn::SaveParameters(mlp.Parameters(), path).ok());
+  std::vector<unsigned char> bytes = Slurp(path);
+  ASSERT_GT(bytes.size(), 24u);
+  // Keep the header intact but cut the payload short: a torn write.
+  bytes.resize(bytes.size() - 7);
+  Dump(path, bytes);
+  auto params = mlp.Parameters();
+  EXPECT_EQ(nn::LoadParameters(path, &params).code(), StatusCode::kParseError);
+  EXPECT_EQ(nn::PeekShapes(path).status().code(), StatusCode::kParseError);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, BitFlipRejectedByChecksum) {
+  Rng rng(5);
+  nn::Mlp mlp({3, 4, 1}, &rng);
+  const std::string path = TempPath("flipped.avnn");
+  ASSERT_TRUE(nn::SaveParameters(mlp.Parameters(), path).ok());
+  std::vector<unsigned char> bytes = Slurp(path);
+  // Flip one bit in the middle of the payload (past the 16-byte header):
+  // silent weight corruption, caught only by the checksum.
+  bytes[16 + (bytes.size() - 16) / 2] ^= 0x01;
+  Dump(path, bytes);
+  auto params = mlp.Parameters();
+  const Status status = nn::LoadParameters(path, &params);
+  EXPECT_EQ(status.code(), StatusCode::kParseError);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, FailedSavePreservesPreviousModel) {
+  Rng rng(5);
+  nn::Mlp original({3, 4, 1}, &rng);
+  nn::Mlp replacement({3, 4, 1}, &rng);
+  const std::string path = TempPath("atomic.avnn");
+  ASSERT_TRUE(nn::SaveParameters(original.Parameters(), path).ok());
+
+  ASSERT_TRUE(Failpoints::Instance().Configure("serialize.save=error").ok());
+  EXPECT_FALSE(nn::SaveParameters(replacement.Parameters(), path).ok());
+  Failpoints::Instance().Clear();
+
+  // The interrupted save must not have clobbered or torn the original,
+  // nor left a stale temp file behind.
+  nn::Mlp loaded({3, 4, 1}, &rng);
+  auto params = loaded.Parameters();
+  ASSERT_TRUE(nn::LoadParameters(path, &params).ok());
+  nn::Tensor x = nn::Tensor::Uniform(2, 3, 1.0, &rng);
+  nn::Tensor a = original.Forward(x);
+  nn::Tensor b = loaded.Forward(x);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.data()[i], b.data()[i]);
+  }
+  FILE* tmp = std::fopen((path + ".tmp").c_str(), "rb");
+  EXPECT_EQ(tmp, nullptr);
+  if (tmp) std::fclose(tmp);
+  std::remove(path.c_str());
+}
+
 TEST(MetadataStoreTest, WriteLoadRoundTrip) {
   const std::string path = TempPath("meta.tsv");
   MetadataStore store(path);
@@ -117,6 +199,55 @@ TEST(MetadataStoreTest, RejectsFieldsWithSeparators) {
 TEST(MetadataStoreTest, MissingFileIsNotFound) {
   MetadataStore store("/nonexistent/meta.tsv");
   EXPECT_EQ(store.Load().status().code(), StatusCode::kNotFound);
+}
+
+TEST(MetadataStoreTest, TornTrailingRecordRejected) {
+  const std::string path = TempPath("meta_torn.tsv");
+  MetadataStore store(path);
+  ASSERT_TRUE(store.Write({{"q1", "v1", "t", 1, 2, 3}}).ok());
+  // Simulate a crash mid-append: a final record with no trailing newline.
+  FILE* f = std::fopen(path.c_str(), "ab");
+  ASSERT_NE(f, nullptr);
+  std::fputs("q2\tv2\tt\t4\t5", f);
+  std::fclose(f);
+  EXPECT_EQ(store.Load().status().code(), StatusCode::kParseError);
+  std::remove(path.c_str());
+}
+
+TEST(MetadataStoreTest, NonNumericCostFieldRejected) {
+  const std::string path = TempPath("meta_nonnum.tsv");
+  FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("q\tv\tt\tBANANA\t2\t3\n", f);
+  std::fclose(f);
+  MetadataStore store(path);
+  EXPECT_EQ(store.Load().status().code(), StatusCode::kParseError);
+  std::remove(path.c_str());
+}
+
+TEST(MetadataStoreTest, WrongFieldCountRejected) {
+  const std::string path = TempPath("meta_fields.tsv");
+  FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("q\tv\tt\t1\t2\n", f);
+  std::fclose(f);
+  MetadataStore store(path);
+  EXPECT_EQ(store.Load().status().code(), StatusCode::kParseError);
+  std::remove(path.c_str());
+}
+
+TEST(MetadataStoreTest, FailedWriteKeepsPreviousStore) {
+  const std::string path = TempPath("meta_atomic.tsv");
+  MetadataStore store(path);
+  ASSERT_TRUE(store.Write({{"q1", "v1", "t", 1, 2, 3}}).ok());
+  // A record that fails validation aborts the temp write; the committed
+  // store must be untouched.
+  EXPECT_FALSE(store.Write({{"bad\tfield", "v", "t", 4, 5, 6}}).ok());
+  auto loaded = store.Load();
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), 1u);
+  EXPECT_EQ(loaded.value()[0].query_sql, "q1");
+  std::remove(path.c_str());
 }
 
 }  // namespace
