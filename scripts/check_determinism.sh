@@ -1,0 +1,93 @@
+#!/bin/sh
+# Repro-lint: keeps the library bit-deterministic and its concurrency
+# discipline greppable. The paper's headline numbers (Eq. 3 flip
+# probabilities, DQN reward = utility delta) are only reproducible when
+# every stochastic draw goes through the seeded Rng and no hidden clock
+# or allocator nondeterminism leaks into results, so this check fails
+# the build — not a code review — when a violation appears.
+#
+# Rules (library code under src/ only; tests/bench/examples are exempt):
+#   no-ambient-randomness   rand()/srand()/time()/clock()/random_device/
+#                           mt19937 outside src/util/random.* — use the
+#                           seeded autoview::Rng (std::steady_clock is
+#                           allowed: deadlines/counters only, never
+#                           results)
+#   no-naked-new            `new`/`delete` outside src/nn/ unless the
+#                           allocation is owned on the same line
+#                           (shared_ptr/unique_ptr/make_*); nn/ manages
+#                           tensor buffers explicitly
+#   no-cout                 std::cout in library code — use AV_LOG or
+#                           return data; stdout belongs to the harnesses
+#   no-raw-mutex            std::mutex / std::condition_variable outside
+#                           util/annotations.h — use the annotated
+#                           autoview::Mutex/CondVar so clang
+#                           -Wthread-safety can see every lock
+#   mutex-annotated         every Mutex member must sit within 8 lines
+#                           of an AV_GUARDED_BY / AV_REQUIRES /
+#                           AV_ACQUIRE user, so the guarded-state map
+#                           stays readable at the declaration site
+#
+# Exit: 0 clean, 1 violations (never skips — needs only POSIX sh).
+set -u
+
+. "$(dirname "$0")/lint_common.sh"
+
+av_grep_rule \
+  '(^|[^_[:alnum:]])(rand|srand|time|clock)[[:space:]]*\(|std::random_device|mt19937' \
+  'no-ambient-randomness' \
+  'draw from the seeded autoview::Rng (src/util/random.h) instead' \
+  '^src/util/random\.(h|cc)$'
+
+av_grep_rule \
+  'std::cout' \
+  'no-cout' \
+  'library code must not write to stdout; use AV_LOG or return data'
+
+av_grep_rule \
+  'std::(mutex|shared_mutex|recursive_mutex|condition_variable)' \
+  'no-raw-mutex' \
+  'use the annotated autoview::Mutex / CondVar from util/annotations.h' \
+  '^src/util/annotations\.h$'
+
+# Naked new/delete: same-line smart-pointer ownership is fine; nn/ is
+# exempt (tensor buffer management is reviewed by hand there).
+for f in $(av_src_files); do
+  rel=${f#"$av_root"/}
+  case "$rel" in src/nn/*) continue ;; esac
+  out=$(av_strip_comments "$f" |
+        grep -nE '(^|[^_[:alnum:]])new[[:space:]]+[A-Za-z_]|(^|[^_[:alnum:]])delete([[:space:]]|\[)' |
+        grep -vE 'shared_ptr<|unique_ptr<|make_shared|make_unique|=[[:space:]]*delete') || continue
+  while IFS= read -r line; do
+    av_fail "$rel" "${line%%:*}" "${line#*:}" 'no-naked-new'
+  done <<EOF
+$out
+EOF
+done
+
+# Mutex members must be annotated nearby: a Mutex declaration with no
+# AV_GUARDED_BY / AV_REQUIRES / AV_ACQUIRE user within +/-8 lines means
+# nobody wrote down what it protects.
+for f in $(av_src_files); do
+  rel=${f#"$av_root"/}
+  case "$rel" in src/util/annotations.h) continue ;; esac
+  orphans=$(awk '
+    /(^|[[:space:]])Mutex[[:space:]]+[A-Za-z_]+_[[:space:]]*;/ {
+      decl[++n] = NR; text[n] = $0
+    }
+    /AV_GUARDED_BY|AV_PT_GUARDED_BY|AV_REQUIRES|AV_ACQUIRE/ { user[NR] = 1 }
+    END {
+      for (i = 1; i <= n; i++) {
+        ok = 0
+        for (l = decl[i] - 8; l <= decl[i] + 8; l++) if (l in user) ok = 1
+        if (!ok) printf "%d:%s\n", decl[i], text[i]
+      }
+    }' "$f") || true
+  [ -z "$orphans" ] && continue
+  while IFS= read -r line; do
+    av_fail "$rel" "${line%%:*}" "${line#*:}" 'mutex-annotated'
+  done <<EOF
+$orphans
+EOF
+done
+
+av_report "determinism lint"

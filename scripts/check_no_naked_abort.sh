@@ -5,23 +5,15 @@
 # the whole process down. The single sanctioned abort lives in
 # util/logging.h behind AV_CHECK (fatal invariant violations only).
 #
-# Run from the repo root (or via ctest, which sets the working dir).
+# Built on scripts/lint_common.sh; exit 0 pass, 1 violations.
 set -u
 
-root="$(dirname "$0")/.."
-offenders=$(grep -rn --include='*.h' --include='*.cc' \
-    -e 'std::abort[[:space:]]*(' \
-    -e '[^_[:alnum:]]abort[[:space:]]*(' \
-    -e '[^_[:alnum:]]exit[[:space:]]*(' \
-    -e '^exit[[:space:]]*(' \
-    "$root/src" | grep -v 'util/logging\.h' | grep -v '//.*abort')
+. "$(dirname "$0")/lint_common.sh"
 
-if [ -n "$offenders" ]; then
-  echo "naked abort()/exit() calls found in library code:" >&2
-  echo "$offenders" >&2
-  echo "use Status/Result (util/status.h) instead; AV_CHECK is reserved" >&2
-  echo "for unrecoverable invariant violations." >&2
-  exit 1
-fi
-echo "OK: no naked abort()/exit() in src/ (outside util/logging.h)"
-exit 0
+av_grep_rule \
+  '(^|[^_[:alnum:]])(std::)?(abort|exit|_Exit|quick_exit)[[:space:]]*\(' \
+  'no-naked-abort' \
+  'use Status/Result (util/status.h); AV_CHECK is reserved for unrecoverable invariant violations' \
+  '^src/util/logging\.h$'
+
+av_report "no-naked-abort lint"

@@ -1,0 +1,46 @@
+#!/bin/sh
+# Compile-time lock-discipline check: builds the library with clang's
+# -Wthread-safety promoted to errors (CMake option
+# AUTOVIEW_WERROR_THREAD_SAFETY), so any access to an AV_GUARDED_BY
+# member without its Mutex held fails the build. See
+# src/util/annotations.h for the annotation conventions.
+#
+# Exit: 0 pass, 1 violations/build failure, 77 no clang (ctest SKIP).
+set -u
+
+root=$(CDPATH= cd -- "$(dirname "$0")/.." && pwd)
+build="${AUTOVIEW_THREAD_SAFETY_BUILD_DIR:-$root/build-threadsafety}"
+
+clangxx="${AUTOVIEW_CLANGXX:-}"
+if [ -z "$clangxx" ]; then
+  for cand in clang++ clang++-19 clang++-18 clang++-17 clang++-16; do
+    if command -v "$cand" >/dev/null 2>&1; then
+      clangxx=$cand
+      break
+    fi
+  done
+fi
+if [ -z "$clangxx" ]; then
+  echo "SKIP: no clang++ on PATH (set AUTOVIEW_CLANGXX to override);" \
+       "thread-safety analysis needs clang"
+  exit 77
+fi
+
+mkdir -p "$build"
+if ! cmake -B "$build" -S "$root" \
+      -DCMAKE_CXX_COMPILER="$clangxx" \
+      -DAUTOVIEW_WERROR_THREAD_SAFETY=ON \
+      -DCMAKE_BUILD_TYPE=Release >"$build/configure.log" 2>&1; then
+  echo "SKIP: cannot configure a clang build (see $build/configure.log)"
+  exit 77
+fi
+
+# The library is enough: tests/bench hold no annotated state of their
+# own, and building only src keeps the gate fast.
+if ! cmake --build "$build" --target autoview_core \
+      -j "$(nproc 2>/dev/null || echo 4)"; then
+  echo "FAIL: clang -Wthread-safety found lock-discipline errors" >&2
+  exit 1
+fi
+echo "OK: library builds clean under clang -Wthread-safety -Werror"
+exit 0

@@ -1,0 +1,88 @@
+#!/bin/sh
+# Shared plumbing for the repo's grep-based repro-lints (sourced, not
+# executed). Every lint is AST-free on purpose: the checks must run on
+# any POSIX box with no clang available, so they can gate ctest's `lint`
+# tier everywhere while the clang-only analyses (thread-safety,
+# clang-tidy) skip gracefully where the toolchain is missing.
+#
+# Provides:
+#   av_root                — absolute repo root
+#   av_src_files           — the library sources the lints police
+#   av_strip_comments FILE — file content with // and /* */ comments and
+#                            string literals blanked (line count kept,
+#                            so reported line numbers stay real)
+#   av_fail / av_report    — accumulate and print violations
+#
+# Exit-code convention for lint scripts: 0 pass, 1 violations found,
+# 77 toolchain unavailable (ctest SKIP_RETURN_CODE).
+
+av_root=$(CDPATH= cd -- "$(dirname "$0")/.." && pwd)
+
+av_failures=0
+
+# All library sources. Tests/bench/examples are exempt: they are allowed
+# printf-debugging, wall clocks, and ad-hoc allocation.
+av_src_files() {
+  find "$av_root/src" -type f \( -name '*.h' -o -name '*.cc' \) | LC_ALL=C sort
+}
+
+# Blank out // comments, /* */ comments, and the contents of string
+# literals so prose like "busy wall time (ns)" cannot trip a code-only
+# pattern. Line structure is preserved; multi-line /* */ bodies are
+# blanked per line. Not a full lexer — good enough for lint patterns
+# that target call syntax.
+av_strip_comments() {
+  sed -e 's/"[^"]*"/""/g' \
+      -e 's|//.*||' \
+      -e 's|/\*.*\*/||g' \
+      "$1" |
+  awk '
+    /\/\*/ { print ""; inblock=1; next }
+    inblock && /\*\// { inblock=0; print ""; next }
+    inblock { print ""; next }
+    { print }
+  '
+}
+
+# av_fail <file> <lineno> <line> <rule> — records one violation.
+av_fail() {
+  printf '%s:%s: [%s]\n    %s\n' "$1" "$2" "$4" "$3" >&2
+  av_failures=$((av_failures + 1))
+}
+
+# av_grep_rule <pattern> <rule-name> <hint> [exclude-path-regex]
+# Greps the comment-stripped library sources for <pattern> and records a
+# violation per hit. Paths matching the optional exclude regex are
+# allowlisted.
+av_grep_rule() {
+  pattern=$1 rule=$2 hint=$3 exclude=${4:-'^$'}
+  hits=0
+  for f in $(av_src_files); do
+    case "$f" in
+      *" "*) echo "path with spaces unsupported: $f" >&2; exit 2 ;;
+    esac
+    if printf '%s' "${f#"$av_root"/}" | grep -Eq "$exclude"; then
+      continue
+    fi
+    out=$(av_strip_comments "$f" | grep -nE "$pattern") || continue
+    while IFS= read -r line; do
+      av_fail "${f#"$av_root"/}" "${line%%:*}" "${line#*:}" "$rule"
+      hits=$((hits + 1))
+    done <<EOF
+$out
+EOF
+  done
+  if [ "$hits" -gt 0 ]; then
+    echo "hint [$rule]: $hint" >&2
+  fi
+}
+
+# av_report <lint-name> — prints the verdict and returns the exit code.
+av_report() {
+  if [ "$av_failures" -gt 0 ]; then
+    echo "FAIL: $1 found $av_failures violation(s)" >&2
+    return 1
+  fi
+  echo "OK: $1 clean"
+  return 0
+}

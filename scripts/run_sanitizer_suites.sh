@@ -1,0 +1,66 @@
+#!/bin/sh
+# Builds and runs the targeted test suites under a sanitizer.
+# Generalizes the PR-2 ASan robustness script to the full matrix:
+#
+#   run_sanitizer_suites.sh asan    # AddressSanitizer over the
+#                                   # robustness suites (error paths:
+#                                   # injected faults, torn files)
+#   run_sanitizer_suites.sh ubsan   # UBSan (-fno-sanitize-recover) over
+#                                   # the same suites + parser/plan
+#                                   # arithmetic
+#   run_sanitizer_suites.sh tsan    # ThreadSanitizer over the
+#                                   # concurrency suites (pool, counters,
+#                                   # failpoint registry, determinism)
+#
+# Each mode configures its own build tree (build-<mode>-suites) so the
+# primary build stays uninstrumented.
+#
+# Exit: 0 pass, 1 build/test failure, 2 usage,
+# 77 toolchain cannot configure the instrumented build (ctest SKIP).
+set -u
+
+mode="${1:-}"
+case "$mode" in
+  asan)
+    sanitize=address
+    suites="failpoint_test deadline_test persistence_test"
+    ;;
+  ubsan)
+    sanitize=undefined
+    suites="failpoint_test deadline_test persistence_test sql_parser_test plan_test"
+    ;;
+  tsan)
+    sanitize=thread
+    suites="thread_pool_test static_analysis_test parallel_determinism_test"
+    ;;
+  *)
+    echo "usage: $0 asan|ubsan|tsan" >&2
+    exit 2
+    ;;
+esac
+
+root=$(CDPATH= cd -- "$(dirname "$0")/.." && pwd)
+build="${AUTOVIEW_SANITIZER_BUILD_DIR:-$root/build-$mode-suites}"
+
+mkdir -p "$build"
+if ! cmake -B "$build" -S "$root" -DAUTOVIEW_SANITIZE=$sanitize \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo >"$build/configure.log" 2>&1; then
+  echo "SKIP: cannot configure a $mode build (see $build/configure.log)"
+  exit 77
+fi
+
+# shellcheck disable=SC2086  # suites is a deliberate word list
+if ! cmake --build "$build" --target $suites \
+      -j "$(nproc 2>/dev/null || echo 4)"; then
+  echo "FAIL: $mode build of the suites failed" >&2
+  exit 1
+fi
+
+status=0
+for t in $suites; do
+  echo "== $t ($mode) =="
+  if ! "$build/tests/$t"; then
+    status=1
+  fi
+done
+exit $status

@@ -1,0 +1,51 @@
+#!/bin/sh
+# Umbrella entry point for the static-analysis tier — the same checks
+# ctest runs as `ctest -L lint`, runnable standalone from any checkout:
+#
+#   scripts/run_static_analysis.sh
+#
+# Runs, in order of increasing cost:
+#   1. check_determinism.sh      repro-lints (POSIX grep; always runs)
+#   2. check_no_naked_abort.sh   Status-discipline lint (always runs)
+#   3. check_thread_safety.sh    clang -Wthread-safety -Werror build
+#                                (SKIPs without clang)
+#   4. run_clang_tidy.sh         curated .clang-tidy over src/
+#                                (SKIPs without clang-tidy)
+#
+# A SKIP (exit 77 from a sub-check) is reported but does not fail the
+# umbrella; any FAIL does. Exit: 0 all pass/skip, 1 otherwise.
+set -u
+
+here=$(CDPATH= cd -- "$(dirname "$0")" && pwd)
+
+overall=0
+ran=0
+skipped=0
+
+run_check() {
+  name=$1
+  shift
+  echo "---- $name ----"
+  "$@"
+  code=$?
+  if [ "$code" -eq 77 ]; then
+    skipped=$((skipped + 1))
+  elif [ "$code" -ne 0 ]; then
+    overall=1
+  else
+    ran=$((ran + 1))
+  fi
+}
+
+run_check "determinism repro-lints" sh "$here/check_determinism.sh"
+run_check "no-naked-abort lint" sh "$here/check_no_naked_abort.sh"
+run_check "clang thread-safety analysis" sh "$here/check_thread_safety.sh"
+run_check "clang-tidy" sh "$here/run_clang_tidy.sh"
+
+echo "----"
+if [ "$overall" -ne 0 ]; then
+  echo "static analysis: FAILED ($ran passed, $skipped skipped)" >&2
+else
+  echo "static analysis: OK ($ran passed, $skipped skipped)"
+fi
+exit "$overall"

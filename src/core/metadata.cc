@@ -57,10 +57,12 @@ Status MetadataStore::WriteInternal(const std::vector<MetadataRecord>& records,
 }
 
 Status MetadataStore::Append(const std::vector<MetadataRecord>& records) const {
+  MutexLock lock(io_mu_);
   return WriteInternal(records, "ab", path_);
 }
 
 Status MetadataStore::Write(const std::vector<MetadataRecord>& records) const {
+  MutexLock lock(io_mu_);
   // Crash-safe replace: a full rewrite goes to a temp file and is
   // renamed into place, so readers never observe a half-written store.
   const std::string tmp = path_ + ".tmp";
@@ -80,6 +82,9 @@ Result<std::vector<MetadataRecord>> MetadataStore::Load() const {
   if (AV_FAILPOINT("metadata.load") == FailAction::kCorrupt) {
     return Status::ParseError("failpoint injected corruption at " + path_);
   }
+  // Serialized against Append/Write so a reader can never observe the
+  // torn tail of an in-progress same-process append.
+  MutexLock lock(io_mu_);
   FilePtr f(std::fopen(path_.c_str(), "rb"));
   if (!f) return Status::NotFound("no metadata store at: " + path_);
   std::vector<MetadataRecord> records;

@@ -3,6 +3,7 @@
 #include <string>
 #include <vector>
 
+#include "util/annotations.h"
 #include "util/status.h"
 
 namespace autoview {
@@ -22,6 +23,11 @@ struct MetadataRecord {
 /// \brief File-backed metadata store standing in for the paper's
 /// metadata database. Records are stored as a tab-separated text file
 /// (SQL contains no tabs/newlines in this fragment).
+///
+/// Thread-safe: all file I/O on one store object is serialized by an
+/// internal mutex, so training loops appending from pool workers cannot
+/// interleave partial records (distinct MetadataStore objects aimed at
+/// the same path still race — share the object instead).
 class MetadataStore {
  public:
   explicit MetadataStore(std::string path) : path_(std::move(path)) {}
@@ -29,23 +35,29 @@ class MetadataStore {
   /// Appends records to the store file (creating it if needed).
   /// Appends are in-place (not atomic); a crash mid-append leaves a torn
   /// final record, which Load() reports as ParseError.
-  Status Append(const std::vector<MetadataRecord>& records) const;
+  Status Append(const std::vector<MetadataRecord>& records) const
+      AV_EXCLUDES(io_mu_);
 
   /// Replaces the store file with `records`, atomically: the new
   /// content is written to `<path>.tmp` and renamed into place.
-  Status Write(const std::vector<MetadataRecord>& records) const;
+  Status Write(const std::vector<MetadataRecord>& records) const
+      AV_EXCLUDES(io_mu_);
 
   /// Loads every record. Corrupt stores (wrong field count, non-numeric
   /// cost fields, torn trailing record) yield ParseError instead of
   /// silently produced zero-cost records.
-  Result<std::vector<MetadataRecord>> Load() const;
+  Result<std::vector<MetadataRecord>> Load() const AV_EXCLUDES(io_mu_);
 
   const std::string& path() const { return path_; }
 
  private:
   Status WriteInternal(const std::vector<MetadataRecord>& records,
-                       const char* mode, const std::string& path) const;
+                       const char* mode, const std::string& path) const
+      AV_REQUIRES(io_mu_);
 
+  // Serializes every open/write/read of the file behind path_, which is
+  // the real shared state this class guards (the members are const).
+  mutable Mutex io_mu_;
   std::string path_;
 };
 

@@ -13,17 +13,32 @@ Status FallbackEstimator::Train(const std::vector<CostSample>& samples) {
   if (!primary.ok()) {
     MarkDegraded("training failed: " + primary.ToString());
   } else {
-    degraded_ = false;
-    degraded_reason_.clear();
+    ClearDegraded();
   }
   return Status::OK();
 }
 
 void FallbackEstimator::MarkDegraded(const std::string& reason) {
-  degraded_ = true;
-  degraded_reason_ = reason;
+  {
+    MutexLock lock(mu_);
+    degraded_reason_ = reason;
+  }
+  // Reason published before the flag so a reader that sees the flag and
+  // asks why never reads an empty string.
+  degraded_.store(true, std::memory_order_release);
   AV_LOG(Warning) << name() << " degraded to " << fallback_->name() << ": "
                   << reason;
+}
+
+void FallbackEstimator::ClearDegraded() {
+  degraded_.store(false, std::memory_order_relaxed);
+  MutexLock lock(mu_);
+  degraded_reason_.clear();
+}
+
+std::string FallbackEstimator::degraded_reason() const {
+  MutexLock lock(mu_);
+  return degraded_reason_;
 }
 
 double FallbackEstimator::FallbackFor(const CostSample& sample) const {
@@ -33,7 +48,7 @@ double FallbackEstimator::FallbackFor(const CostSample& sample) const {
 }
 
 double FallbackEstimator::Estimate(const CostSample& sample) const {
-  if (degraded_) return FallbackFor(sample);
+  if (degraded()) return FallbackFor(sample);
   const double predicted = primary_->Estimate(sample);
   if (!std::isfinite(predicted)) return FallbackFor(sample);
   return predicted;
@@ -41,7 +56,7 @@ double FallbackEstimator::Estimate(const CostSample& sample) const {
 
 std::vector<double> FallbackEstimator::EstimateBatch(
     const std::vector<CostSample>& samples, ThreadPool* pool) const {
-  if (degraded_) {
+  if (degraded()) {
     std::vector<double> out;
     out.reserve(samples.size());
     for (const auto& sample : samples) out.push_back(FallbackFor(sample));

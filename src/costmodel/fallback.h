@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "costmodel/estimator.h"
+#include "util/annotations.h"
 
 namespace autoview {
 
@@ -42,13 +43,17 @@ class FallbackEstimator : public CostEstimator {
   std::string name() const override;
 
   /// Marks the primary unusable (e.g. after a failed model load); all
-  /// subsequent calls go straight to the fallback.
-  void MarkDegraded(const std::string& reason);
+  /// subsequent calls go straight to the fallback. Safe to call while
+  /// other threads are mid-Estimate: they observe the flag on their
+  /// next call at the latest.
+  void MarkDegraded(const std::string& reason) AV_EXCLUDES(mu_);
 
   /// True when every call is served by the fallback.
-  bool degraded() const { return degraded_; }
-  /// Reason for degradation; empty when not degraded.
-  const std::string& degraded_reason() const { return degraded_reason_; }
+  bool degraded() const { return degraded_.load(std::memory_order_relaxed); }
+  /// Reason for degradation; empty when not degraded. Returned by value:
+  /// a reference into the mutex-guarded string would dangle past the
+  /// lock.
+  std::string degraded_reason() const AV_EXCLUDES(mu_);
 
   /// Calls answered by the fallback (degraded calls included).
   uint64_t fallback_calls() const {
@@ -57,12 +62,19 @@ class FallbackEstimator : public CostEstimator {
 
  private:
   double FallbackFor(const CostSample& sample) const;
+  void ClearDegraded() AV_EXCLUDES(mu_);
 
   CostEstimator* primary_;
   CostEstimator* fallback_;
-  bool degraded_ = false;
-  std::string degraded_reason_;
-  mutable std::atomic<uint64_t> fallback_calls_{0};
+  // Relaxed flag (see util/annotations.h conventions): readers that
+  // race a MarkDegraded take the primary path one last time and patch
+  // any NaN per-call, so no ordering with degraded_reason_ is needed
+  // for correctness — the reason string is for operators, not control
+  // flow.
+  std::atomic<bool> degraded_{false};
+  mutable Mutex mu_;
+  std::string degraded_reason_ AV_GUARDED_BY(mu_);
+  mutable std::atomic<uint64_t> fallback_calls_{0};  // relaxed tally
 };
 
 }  // namespace autoview

@@ -36,6 +36,14 @@ PlanShape ShapeOf(const PlanNode& plan) {
       case PlanOp::kProject:
         ++shape.projects;
         break;
+      case PlanOp::kSort:
+      case PlanOp::kLimit:
+      case PlanOp::kDistinct:
+        // Tail operators contribute to `ops`/`height` only; no dedicated
+        // bucket, so the numeric feature width stays fixed. Listed
+        // explicitly so -Wswitch flags the next PlanOp addition instead
+        // of silently under-featurizing it.
+        break;
     }
   }
   return shape;

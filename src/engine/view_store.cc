@@ -10,6 +10,7 @@ Result<const MaterializedView*> MaterializedViewStore::Materialize(
   AV_FAILPOINT_STATUS("viewstore.materialize");
   if (!subquery) return Status::InvalidArgument("null subquery");
   std::string key = CanonicalKey(*subquery);
+  MutexLock lock(mu_);
   if (auto it = by_key_.find(key); it != by_key_.end()) {
     return Status::AlreadyExists("view already materialized for subquery");
   }
@@ -30,16 +31,18 @@ Result<const MaterializedView*> MaterializedViewStore::Materialize(
 
 const MaterializedView* MaterializedViewStore::FindByKey(
     const std::string& canonical_key) const {
+  MutexLock lock(mu_);
   auto it = by_key_.find(canonical_key);
   return it == by_key_.end() ? nullptr : &by_id_.at(it->second);
 }
 
 const MaterializedView* MaterializedViewStore::FindById(int64_t id) const {
+  MutexLock lock(mu_);
   auto it = by_id_.find(id);
   return it == by_id_.end() ? nullptr : &it->second;
 }
 
-Status MaterializedViewStore::Drop(int64_t id) {
+Status MaterializedViewStore::DropLocked(int64_t id) {
   auto it = by_id_.find(id);
   if (it == by_id_.end()) return Status::NotFound("no such view");
   AV_RETURN_NOT_OK(db_->DropTable(it->second.table_name));
@@ -48,14 +51,21 @@ Status MaterializedViewStore::Drop(int64_t id) {
   return Status::OK();
 }
 
+Status MaterializedViewStore::Drop(int64_t id) {
+  MutexLock lock(mu_);
+  return DropLocked(id);
+}
+
 Status MaterializedViewStore::Clear() {
+  MutexLock lock(mu_);
   while (!by_id_.empty()) {
-    AV_RETURN_NOT_OK(Drop(by_id_.begin()->first));
+    AV_RETURN_NOT_OK(DropLocked(by_id_.begin()->first));
   }
   return Status::OK();
 }
 
 double MaterializedViewStore::TotalOverhead(const Pricing& pricing) const {
+  MutexLock lock(mu_);
   double total = 0.0;
   for (const auto& [_, view] : by_id_) {
     total += pricing.StorageFee(view.byte_size) +

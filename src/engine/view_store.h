@@ -9,6 +9,7 @@
 #include "engine/database.h"
 #include "engine/executor.h"
 #include "plan/plan.h"
+#include "util/annotations.h"
 #include "util/status.h"
 
 namespace autoview {
@@ -25,6 +26,15 @@ struct MaterializedView {
 
 /// \brief Owns materialized views: executes subqueries, installs their
 /// results as scannable tables, and supports dropping them again.
+///
+/// Thread-safe: the index maps are mutex-guarded so concurrent
+/// materializations (future sharded/async selection) cannot corrupt
+/// them. Returned MaterializedView pointers stay valid until that view
+/// is dropped (std::map nodes are stable under unrelated inserts); a
+/// caller must not hold one across a Drop()/Clear() of the same view.
+/// Materialize executes the subquery while holding the lock, so
+/// concurrent builds serialize — correctness first; a build-outside-
+/// the-lock scheme can come with the sharding PR that needs it.
 class MaterializedViewStore {
  public:
   /// `db` must outlive the store; views are registered into it.
@@ -33,29 +43,38 @@ class MaterializedViewStore {
   /// Executes `subquery`, stores the result as a new table named
   /// `__mv_<id>` and returns the view descriptor.
   Result<const MaterializedView*> Materialize(PlanNodePtr subquery,
-                                              const Executor& executor);
+                                              const Executor& executor)
+      AV_EXCLUDES(mu_);
 
   /// Looks a view up by the canonical key of its plan.
-  const MaterializedView* FindByKey(const std::string& canonical_key) const;
+  const MaterializedView* FindByKey(const std::string& canonical_key) const
+      AV_EXCLUDES(mu_);
 
-  const MaterializedView* FindById(int64_t id) const;
+  const MaterializedView* FindById(int64_t id) const AV_EXCLUDES(mu_);
 
   /// Drops the view and its backing table.
-  Status Drop(int64_t id);
+  Status Drop(int64_t id) AV_EXCLUDES(mu_);
 
   /// Drops everything.
-  Status Clear();
+  Status Clear() AV_EXCLUDES(mu_);
 
-  size_t size() const { return by_id_.size(); }
+  size_t size() const AV_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return by_id_.size();
+  }
 
   /// Total overhead O_v = A_alpha(v) + A(s) across all live views.
-  double TotalOverhead(const Pricing& pricing) const;
+  double TotalOverhead(const Pricing& pricing) const AV_EXCLUDES(mu_);
 
  private:
+  /// Shared tail of Drop/Clear; assumes the registry lock is held.
+  Status DropLocked(int64_t id) AV_REQUIRES(mu_);
+
   Database* db_;
-  int64_t next_id_ = 1;
-  std::map<int64_t, MaterializedView> by_id_;
-  std::map<std::string, int64_t> by_key_;
+  mutable Mutex mu_;
+  int64_t next_id_ AV_GUARDED_BY(mu_) = 1;
+  std::map<int64_t, MaterializedView> by_id_ AV_GUARDED_BY(mu_);
+  std::map<std::string, int64_t> by_key_ AV_GUARDED_BY(mu_);
 };
 
 }  // namespace autoview

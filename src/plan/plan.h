@@ -177,8 +177,14 @@ class PlanNode {
   int64_t limit_ = -1;
   std::vector<PlanNodePtr> children_;
   std::vector<OutputColumn> output_;
-  // Lazily computed; atomic because shared subtrees are hashed
-  // concurrently from pool workers (idempotent, so relaxed is enough).
+  // Lazily computed hash cache; atomic because shared subtrees are
+  // hashed concurrently from pool workers. Relaxed is enough (see
+  // util/annotations.h conventions): every writer stores the same
+  // idempotent value derived from immutable node state, so a racing
+  // reader either sees 0 (recomputes) or the final hash — never a torn
+  // or stale-wrong value. 0 doubles as the "unset" sentinel; a plan
+  // whose true hash is 0 is recomputed each call, which is only a
+  // (vanishingly unlikely) perf loss, never a correctness one.
   mutable std::atomic<uint64_t> cached_hash_{0};
 
   friend class PlanBuilderAccess;

@@ -1,12 +1,41 @@
 #include "sql/parser.h"
 
-#include <cstdlib>
+#include <charconv>
 
 #include "sql/token.h"
 
 namespace autoview {
 
 namespace {
+
+/// Locale-independent strict int64 parse. std::atoll silently accepted
+/// trailing garbage and has undefined behavior on overflow, so two
+/// processes could plan the same SQL differently; out-of-range literals
+/// now fail the parse instead.
+Result<int64_t> ParseInt64Literal(const std::string& text) {
+  int64_t value = 0;
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, value);
+  if (ec != std::errc() || ptr != end) {
+    return Status::ParseError("integer literal out of range: " + text);
+  }
+  return value;
+}
+
+/// Locale-independent strict double parse. std::atof reads the process
+/// locale's decimal separator, so "1.5" parsed as 1.0 under e.g. de_DE
+/// — the same workload produced different plans (and different view
+/// utilities) depending on the host environment.
+Result<double> ParseDoubleLiteral(const std::string& text) {
+  double value = 0.0;
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), end, value, std::chars_format::general);
+  if (ec != std::errc() || ptr != end) {
+    return Status::ParseError("float literal out of range: " + text);
+  }
+  return value;
+}
 
 /// Recursive-descent parser over the token stream.
 class Parser {
@@ -106,7 +135,7 @@ class Parser {
       if (Peek().type != TokenType::kIntLiteral) {
         return Error("expected integer after LIMIT");
       }
-      stmt->limit = std::atoll(Advance().text.c_str());
+      AV_ASSIGN_OR_RETURN(stmt->limit, ParseInt64Literal(Advance().text));
     }
     return stmt;
   }
@@ -247,16 +276,20 @@ class Parser {
     const Token& t = Peek();
     auto e = std::make_shared<AstExpr>();
     switch (t.type) {
-      case TokenType::kIntLiteral:
+      case TokenType::kIntLiteral: {
+        AV_ASSIGN_OR_RETURN(const int64_t v, ParseInt64Literal(t.text));
         e->kind = AstExprKind::kLiteral;
-        e->literal = Value(static_cast<int64_t>(std::atoll(t.text.c_str())));
+        e->literal = Value(v);
         Advance();
         return e;
-      case TokenType::kFloatLiteral:
+      }
+      case TokenType::kFloatLiteral: {
+        AV_ASSIGN_OR_RETURN(const double v, ParseDoubleLiteral(t.text));
         e->kind = AstExprKind::kLiteral;
-        e->literal = Value(std::atof(t.text.c_str()));
+        e->literal = Value(v);
         Advance();
         return e;
+      }
       case TokenType::kStringLiteral:
         e->kind = AstExprKind::kLiteral;
         e->literal = Value(t.text);

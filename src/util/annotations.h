@@ -1,0 +1,140 @@
+#pragma once
+
+#include <mutex>
+#include <condition_variable>
+
+/// \file
+/// Portable Clang thread-safety annotations plus the annotated locking
+/// vocabulary of the library (Mutex / MutexLock / CondVar).
+///
+/// Conventions (see DESIGN.md §8 and README "Static analysis"):
+///  * every mutex-protected member is declared with AV_GUARDED_BY(mu),
+///    adjacent to the Mutex it names (the determinism lint enforces the
+///    adjacency, so the invariant survives refactors even off-clang);
+///  * private helpers that assume the lock is held take AV_REQUIRES(mu);
+///    public entry points that take the lock themselves are implicitly
+///    AV_EXCLUDES via the analysis (annotate explicitly only when a
+///    deadlock with a caller-held lock is plausible);
+///  * raw std::mutex never appears outside this header — the annotated
+///    autoview::Mutex wrapper is required so the analysis works under
+///    both libc++ and libstdc++ (whose std::mutex carries no capability
+///    attributes);
+///  * atomics need no annotation, but the comment on the member must say
+///    which ordering is relied on and why it is enough.
+///
+/// Under clang the macros expand to the thread-safety attributes and the
+/// whole library is expected to compile with `-Wthread-safety -Werror`
+/// (CMake option AUTOVIEW_WERROR_THREAD_SAFETY). Everywhere else they
+/// expand to nothing.
+
+#if defined(__clang__) && (!defined(SWIG))
+#define AV_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define AV_THREAD_ANNOTATION(x)
+#endif
+
+/// Declares a type to be a lockable capability ("mutex").
+#define AV_CAPABILITY(x) AV_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII type that acquires in its constructor and releases
+/// in its destructor.
+#define AV_SCOPED_CAPABILITY AV_THREAD_ANNOTATION(scoped_lockable)
+
+/// Member may only be read/written while holding `x`.
+#define AV_GUARDED_BY(x) AV_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointee (not the pointer itself) protected by `x`.
+#define AV_PT_GUARDED_BY(x) AV_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the capability held on entry (and keeps it held).
+#define AV_REQUIRES(...) \
+  AV_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function must NOT be entered holding the capability (deadlock guard).
+#define AV_EXCLUDES(...) AV_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the capability (held on return).
+#define AV_ACQUIRE(...) \
+  AV_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability.
+#define AV_RELEASE(...) \
+  AV_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability when returning `b`.
+#define AV_TRY_ACQUIRE(b, ...) \
+  AV_THREAD_ANNOTATION(try_acquire_capability(b, __VA_ARGS__))
+
+/// Returns a reference to the named capability.
+#define AV_RETURN_CAPABILITY(x) AV_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: the function manipulates locks in a way the analysis
+/// cannot follow (condition-variable handoff). Use sparingly and say why.
+#define AV_NO_THREAD_SAFETY_ANALYSIS \
+  AV_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace autoview {
+
+class CondVar;
+
+/// \brief Annotated mutex: std::mutex wrapped as a Clang capability.
+///
+/// libstdc++'s std::mutex carries no thread-safety attributes, so
+/// AV_GUARDED_BY on raw std::mutex members silently checks nothing under
+/// `clang++ -stdlib=libstdc++`. Wrapping once here makes the analysis
+/// portable; the determinism lint bans raw std::mutex members outside
+/// this header.
+class AV_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() AV_ACQUIRE() { mu_.lock(); }
+  void Unlock() AV_RELEASE() { mu_.unlock(); }
+  bool TryLock() AV_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// \brief RAII lock for Mutex (the only sanctioned way to take one).
+class AV_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) AV_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() AV_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// \brief Condition variable paired with Mutex.
+///
+/// Wait() requires the caller to hold `mu` (annotated), so the waited-on
+/// predicate can be evaluated in the caller where the analysis sees the
+/// lock — prefer `while (!pred()) cv.Wait(mu);` over a predicate lambda,
+/// which the analysis would check as a lockless function.
+class CondVar {
+ public:
+  /// Atomically releases `mu`, blocks, and re-acquires before returning.
+  /// The body hands the held lock to std::condition_variable and takes
+  /// it back, which the analysis cannot follow — hence the escape hatch;
+  /// the AV_REQUIRES contract is still enforced against callers.
+  void Wait(Mutex& mu) AV_REQUIRES(mu) AV_NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> handoff(mu.mu_, std::adopt_lock);
+    cv_.wait(handoff);
+    handoff.release();  // ownership stays with the caller's MutexLock
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace autoview

@@ -70,6 +70,9 @@ class CancellationToken {
   bool Cancelled() const { return flag_->load(std::memory_order_relaxed); }
 
  private:
+  // Relaxed is enough (see util/annotations.h conventions): the flag is
+  // a level-triggered stop signal polled by cooperative loops; no data
+  // is published through it, so no acquire/release pairing is needed.
   std::shared_ptr<std::atomic<bool>> flag_;
 };
 

@@ -63,7 +63,7 @@ Failpoints& Failpoints::Instance() {
 }
 
 Status Failpoints::Configure(const std::string& spec) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   sites_.clear();
   rng_state_ = 0x41757456ull;  // fixed: reproducible fault sequences
   enabled_.store(false, std::memory_order_relaxed);
@@ -106,14 +106,14 @@ Status Failpoints::Configure(const std::string& spec) {
 }
 
 void Failpoints::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   sites_.clear();
   enabled_.store(false, std::memory_order_relaxed);
 }
 
 FailAction Failpoints::Evaluate(std::string_view site) {
   if (!enabled()) return FailAction::kNone;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (Site& s : sites_) {
     if (s.name != site) continue;
     if (s.probability < 1.0 && RollUniform01(&rng_state_) >= s.probability) {
@@ -127,7 +127,7 @@ FailAction Failpoints::Evaluate(std::string_view site) {
 }
 
 uint64_t Failpoints::hits(std::string_view site) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const Site& s : sites_) {
     if (s.name == site) return s.hits;
   }
@@ -135,7 +135,7 @@ uint64_t Failpoints::hits(std::string_view site) const {
 }
 
 uint64_t Failpoints::total_hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   uint64_t total = 0;
   for (const Site& s : sites_) total += s.hits;
   return total;

@@ -2,11 +2,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "util/annotations.h"
 #include "util/status.h"
 
 namespace autoview {
@@ -53,10 +53,10 @@ class Failpoints {
   /// Replaces the configuration with `spec` (see class comment); an
   /// empty spec disarms everything. Returns InvalidArgument on a
   /// malformed entry (the registry is left disarmed in that case).
-  Status Configure(const std::string& spec);
+  Status Configure(const std::string& spec) AV_EXCLUDES(mu_);
 
   /// Disarms every site and resets hit counters.
-  void Clear();
+  void Clear() AV_EXCLUDES(mu_);
 
   /// Fast check: is any site armed?
   bool enabled() const {
@@ -65,13 +65,13 @@ class Failpoints {
 
   /// Rolls the dice for `site`; returns the armed action when it fires.
   /// Sites that were never configured always return kNone.
-  FailAction Evaluate(std::string_view site);
+  FailAction Evaluate(std::string_view site) AV_EXCLUDES(mu_);
 
   /// Number of times `site` actually fired (not just evaluated).
-  uint64_t hits(std::string_view site) const;
+  uint64_t hits(std::string_view site) const AV_EXCLUDES(mu_);
 
   /// Total fires across all sites since the last Configure()/Clear().
-  uint64_t total_hits() const;
+  uint64_t total_hits() const AV_EXCLUDES(mu_);
 
  private:
   Failpoints();
@@ -83,10 +83,12 @@ class Failpoints {
     uint64_t hits = 0;
   };
 
+  // Relaxed fast-path flag: only gates whether Evaluate bothers taking
+  // mu_; the authoritative armed set is sites_ under the lock.
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mu_;
-  std::vector<Site> sites_;   // tiny; linear scan under mu_
-  uint64_t rng_state_ = 0;    // SplitMix64, guarded by mu_
+  mutable Mutex mu_;
+  std::vector<Site> sites_ AV_GUARDED_BY(mu_);  // tiny; linear scan
+  uint64_t rng_state_ AV_GUARDED_BY(mu_) = 0;   // SplitMix64 fault rolls
 };
 
 /// Evaluates a failpoint site; kNone when the registry is disarmed.

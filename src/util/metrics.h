@@ -27,8 +27,11 @@ class PoolCounters {
   Snapshot Read() const;
 
  private:
+  // Monotonic relaxed counters (see util/annotations.h conventions):
+  // each is independently meaningful, no cross-counter invariant is
+  // promised, so Snapshot tolerates torn reads between fields.
   std::atomic<uint64_t> tasks_run_{0};
-  std::atomic<uint64_t> max_queue_depth_{0};
+  std::atomic<uint64_t> max_queue_depth_{0};  // CAS-max loop
   std::atomic<uint64_t> busy_nanos_{0};
 };
 
@@ -61,6 +64,9 @@ class RobustnessCounters {
   void Reset();
 
  private:
+  // Relaxed: hammered from pool workers on degraded paths; only the
+  // per-counter totals matter, never ordering between them (enforced at
+  // runtime by tests/static_analysis_test.cc).
   std::atomic<uint64_t> estimator_fallbacks_{0};
   std::atomic<uint64_t> faults_injected_{0};
   std::atomic<uint64_t> selection_timeouts_{0};

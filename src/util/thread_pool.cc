@@ -28,22 +28,22 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (auto& t : threads_) t.join();
 }
 
 void ThreadPool::Enqueue(std::function<void()> task) {
   size_t depth;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(task));
     depth = queue_.size();
   }
   counters_.RecordQueueDepth(depth);
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void ThreadPool::WorkerLoop() {
@@ -51,8 +51,10 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      // Predicate inlined (not a wait-lambda) so the thread-safety
+      // analysis sees the guarded reads under the held lock.
+      while (!stop_ && queue_.empty()) cv_.Wait(mu_);
       if (queue_.empty()) return;  // stop_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();

@@ -1,16 +1,15 @@
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
+#include "util/annotations.h"
 #include "util/deadline.h"
 #include "util/metrics.h"
 
@@ -86,15 +85,15 @@ class ThreadPool {
   static bool InWorker();
 
  private:
-  void Enqueue(std::function<void()> task);
-  void WorkerLoop();
+  void Enqueue(std::function<void()> task) AV_EXCLUDES(mu_);
+  void WorkerLoop() AV_EXCLUDES(mu_);
 
   std::vector<std::thread> threads_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
-  PoolCounters counters_;
+  Mutex mu_;
+  std::deque<std::function<void()>> queue_ AV_GUARDED_BY(mu_);
+  bool stop_ AV_GUARDED_BY(mu_) = false;
+  CondVar cv_;
+  PoolCounters counters_;  // internally atomic; see PoolCounters
 };
 
 /// Number of threads the default pool uses: the AUTOVIEW_THREADS

@@ -153,5 +153,40 @@ TEST(ParserTest, JoinWithoutInnerKeyword) {
   EXPECT_EQ(r.value()->joins.size(), 1u);
 }
 
+// Regression guard for the determinism lint's locale/UB findings: the
+// parser used to route literals through std::atof/std::atoll, so
+// "x > 1.5" parsed as 1.0 under a comma-decimal locale and overflowing
+// integers were undefined behavior. std::from_chars is
+// locale-independent and rejects out-of-range input, making plans (and
+// thus view utilities) a pure function of the SQL text.
+
+TEST(ParserTest, FloatLiteralParsesExactlyRegardlessOfLocale) {
+  auto r = ParseSelect("SELECT a FROM t WHERE x > 1.5");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const AstExpr& cmp = *r.value()->where;
+  ASSERT_EQ(cmp.children.size(), 2u);
+  const AstExpr& lit = *cmp.children[1];
+  ASSERT_EQ(lit.kind, AstExprKind::kLiteral);
+  EXPECT_TRUE(lit.literal.is_double());
+  EXPECT_EQ(lit.literal.AsDouble(), 1.5);  // exact, not locale-mangled
+}
+
+TEST(ParserTest, Int64BoundaryLiteralsParse) {
+  auto r =
+      ParseSelect("SELECT a FROM t WHERE x = 9223372036854775807 LIMIT 42");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const AstExpr& lit = *r.value()->where->children[1];
+  EXPECT_EQ(lit.literal.AsInt(), INT64_MAX);
+  EXPECT_EQ(r.value()->limit, 42);
+}
+
+TEST(ParserTest, OverflowingIntLiteralRejected) {
+  // Pre-fix this was UB via atoll; now it is a deterministic ParseError.
+  auto r = ParseSelect("SELECT a FROM t WHERE x = 99999999999999999999");
+  EXPECT_FALSE(r.ok());
+  auto limit = ParseSelect("SELECT a FROM t LIMIT 99999999999999999999");
+  EXPECT_FALSE(limit.ok());
+}
+
 }  // namespace
 }  // namespace autoview
