@@ -11,11 +11,17 @@
 #                           mt19937 outside src/util/random.* — use the
 #                           seeded autoview::Rng (std::steady_clock is
 #                           allowed: deadlines/counters only, never
-#                           results)
-#   no-naked-new            `new`/`delete` outside src/nn/ unless the
-#                           allocation is owned on the same line
-#                           (shared_ptr/unique_ptr/make_*); nn/ manages
-#                           tensor buffers explicitly
+#                           results). The no-grad inference fast path
+#                           (nn::NoGradGuard, nn::MlpInference,
+#                           nn::MatMulTB) is explicitly in scope: it must
+#                           stay a pure function of the snapshotted
+#                           weights, or its bit-identity contract with
+#                           the autograd Forward path breaks silently.
+#   no-naked-new            `new`/`delete` unless the allocation is
+#                           owned on the same line (shared_ptr/
+#                           unique_ptr/make_*); applies to src/nn/ too —
+#                           tensor and inference buffers are
+#                           std::vector-owned
 #   no-cout                 std::cout in library code — use AV_LOG or
 #                           return data; stdout belongs to the harnesses
 #   no-raw-mutex            std::mutex / std::condition_variable outside
@@ -49,11 +55,12 @@ av_grep_rule \
   'use the annotated autoview::Mutex / CondVar from util/annotations.h' \
   '^src/util/annotations\.h$'
 
-# Naked new/delete: same-line smart-pointer ownership is fine; nn/ is
-# exempt (tensor buffer management is reviewed by hand there).
+# Naked new/delete: same-line smart-pointer ownership is fine. src/nn/
+# is covered too: the tensor graph and the no-grad inference fast path
+# both keep their buffers in std::vector, so any naked allocation there
+# is a regression, not an idiom.
 for f in $(av_src_files); do
   rel=${f#"$av_root"/}
-  case "$rel" in src/nn/*) continue ;; esac
   out=$(av_strip_comments "$f" |
         grep -nE '(^|[^_[:alnum:]])new[[:space:]]+[A-Za-z_]|(^|[^_[:alnum:]])delete([[:space:]]|\[)' |
         grep -vE 'shared_ptr<|unique_ptr<|make_shared|make_unique|=[[:space:]]*delete') || continue

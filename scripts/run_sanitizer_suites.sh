@@ -31,7 +31,9 @@ case "$mode" in
     ;;
   tsan)
     sanitize=thread
-    suites="thread_pool_test static_analysis_test parallel_determinism_test"
+    # problem_index_test covers the incremental selection engine across
+    # pool sizes (shared MvsProblemIndex read by concurrent trials).
+    suites="thread_pool_test static_analysis_test parallel_determinism_test problem_index_test"
     ;;
   *)
     echo "usage: $0 asan|ubsan|tsan" >&2

@@ -1,5 +1,6 @@
 #include "costmodel/estimator.h"
 
+#include "nn/tensor.h"
 #include "util/metrics.h"
 #include "util/thread_pool.h"
 
@@ -7,6 +8,10 @@ namespace autoview {
 
 std::vector<double> CostEstimator::EstimateBatch(
     const std::vector<CostSample>& samples, ThreadPool* /*pool*/) const {
+  // Batch estimation is pure inference for every estimator: run the
+  // whole loop in no-grad mode so NN-backed Estimate() implementations
+  // skip autograd bookkeeping (values are bit-identical either way).
+  nn::NoGradGuard no_grad;
   std::vector<double> out;
   out.reserve(samples.size());
   for (const auto& sample : samples) out.push_back(Estimate(sample));

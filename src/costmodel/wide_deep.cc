@@ -183,6 +183,10 @@ double WideDeepEstimator::Estimate(const CostSample& sample) const {
   }
   if (!net_) return 0.0;
   Features features = extractor_.Extract(sample);
+  // Inference never backpropagates: skip gradient buffers and graph
+  // retention. The guard is thread-local, so concurrent EstimateBatch
+  // workers and a trainer on another thread do not interfere.
+  nn::NoGradGuard no_grad;
   Tensor pred = Forward(features, normalizer_.Apply(features.numeric));
   return std::max(
       0.0, std::exp(pred.item() * target_std_ + target_mean_) - kLogEps);

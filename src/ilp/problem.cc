@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "ilp/problem_index.h"
 #include "util/strings.h"
 
 namespace autoview {
@@ -112,15 +113,35 @@ std::vector<bool> YOptSolver::SolveQuery(size_t query_index,
                                          const std::vector<bool>& z) const {
   const auto& benefits = problem_->benefit[query_index];
   std::vector<size_t> views;
-  for (size_t j = 0; j < z.size(); ++j) {
-    if (z[j] && benefits[j] > 0) views.push_back(j);
+  bool presorted = false;
+  if (index_ != nullptr) {
+    const auto& sparse_row = index_->Row(query_index);
+    if (!index_->RowHasTies(query_index)) {
+      // All benefits in the row are distinct, so the descending order is
+      // unique: filtering the precomputed order by z gives exactly what
+      // sorting the z-filtered subset would.
+      for (size_t p : index_->RowByBenefit(query_index)) {
+        if (z[sparse_row[p].index]) views.push_back(sparse_row[p].index);
+      }
+      presorted = true;
+    } else {
+      for (const MvsProblemIndex::Entry& e : sparse_row) {
+        if (z[e.index]) views.push_back(e.index);
+      }
+    }
+  } else {
+    for (size_t j = 0; j < z.size(); ++j) {
+      if (z[j] && benefits[j] > 0) views.push_back(j);
+    }
   }
   std::vector<bool> row(z.size(), false);
   if (views.empty()) return row;
 
   // Descending-benefit order tightens the bound early.
-  std::sort(views.begin(), views.end(),
-            [&](size_t a, size_t b) { return benefits[a] > benefits[b]; });
+  if (!presorted) {
+    std::sort(views.begin(), views.end(),
+              [&](size_t a, size_t b) { return benefits[a] > benefits[b]; });
+  }
   std::vector<double> weights;
   weights.reserve(views.size());
   for (size_t v : views) weights.push_back(benefits[v]);

@@ -55,14 +55,23 @@ double EvaluateUtility(const MvsProblem& problem, const std::vector<bool>& z,
 bool IsFeasible(const MvsProblem& problem, const std::vector<bool>& z,
                 const std::vector<std::vector<bool>>& y);
 
+class MvsProblemIndex;
+
 /// \brief Exact solver of the per-query local ILP (the paper's Y-Opt
 /// inner problem): given fixed Z, choose the non-overlapping view subset
 /// maximizing the query's benefit. This substitutes the PuLP / Gurobi
 /// call with a branch-and-bound that is exact for the (small) per-query
 /// instances.
+///
+/// With an MvsProblemIndex attached, applicable-view collection walks
+/// the query's sparse CSR row instead of scanning all |Z| views, and
+/// tie-free rows reuse the precomputed benefit-descending order instead
+/// of re-sorting per call. Results are bit-identical either way.
 class YOptSolver {
  public:
   explicit YOptSolver(const MvsProblem* problem) : problem_(problem) {}
+  YOptSolver(const MvsProblem* problem, const MvsProblemIndex* index)
+      : problem_(problem), index_(index) {}
 
   /// Optimal y row for query `query_index` under `z`.
   std::vector<bool> SolveQuery(size_t query_index,
@@ -81,6 +90,7 @@ class YOptSolver {
               std::vector<bool>* best_taken) const;
 
   const MvsProblem* problem_;
+  const MvsProblemIndex* index_ = nullptr;
 };
 
 }  // namespace autoview

@@ -1,0 +1,98 @@
+#include "ilp/problem_index.h"
+
+#include <algorithm>
+
+namespace autoview {
+
+MvsProblemIndex::MvsProblemIndex(const MvsProblem& problem)
+    : problem_(&problem) {
+  const size_t nq = problem.num_queries();
+  const size_t nz = problem.num_views();
+
+  rows_.resize(nq);
+  rows_by_benefit_.resize(nq);
+  row_has_ties_.assign(nq, false);
+  columns_.resize(nz);
+  adjacency_.resize(nz);
+  max_benefit_.assign(nz, 0.0);
+
+  for (size_t i = 0; i < nq; ++i) {
+    const auto& row = problem.benefit[i];
+    for (size_t j = 0; j < nz; ++j) {
+      if (row[j] == 0.0) continue;
+      columns_[j].push_back({i, row[j]});
+      ++num_nonzero_;
+      if (row[j] > 0) {
+        rows_[i].push_back({j, row[j]});
+        ++num_positive_;
+      }
+    }
+    // Benefit-descending exploration order, computed with the same
+    // comparator Y-Opt's per-solve sort uses. Duplicate benefits make
+    // an unstable subset sort order-ambiguous, so flag them; the solver
+    // falls back to sorting the filtered subset itself on such rows.
+    auto& order = rows_by_benefit_[i];
+    order.resize(rows_[i].size());
+    for (size_t p = 0; p < order.size(); ++p) order[p] = p;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return rows_[i][a].benefit > rows_[i][b].benefit;
+    });
+    for (size_t p = 1; p < order.size(); ++p) {
+      if (rows_[i][order[p]].benefit == rows_[i][order[p - 1]].benefit) {
+        row_has_ties_[i] = true;
+        break;
+      }
+    }
+  }
+
+  for (size_t j = 0; j < nz; ++j) {
+    for (size_t k = 0; k < nz; ++k) {
+      if (problem.overlap[j][k]) adjacency_[j].push_back(k);
+    }
+    // Same ascending-query accumulation as MvsProblem::MaxBenefit.
+    double total = 0.0;
+    for (const Entry& e : columns_[j]) {
+      if (e.benefit > 0) total += e.benefit;
+    }
+    max_benefit_[j] = total;
+  }
+  // Same ascending-view accumulation as the naive per-iteration
+  // aggregate loops (ComputeAggregates in iterview.cc).
+  for (size_t j = 0; j < nz; ++j) {
+    total_overhead_ += problem.overhead[j];
+    total_max_benefit_ += max_benefit_[j];
+  }
+}
+
+double MvsProblemIndex::EvaluateUtilitySparse(
+    const std::vector<bool>& z, const std::vector<std::vector<bool>>& y) const {
+  // Bit-identity: the dense EvaluateUtility adds benefit[i][j] for every
+  // used cell in row-major order; used cells all lie in the positive
+  // support, so walking the CSR rows (ascending view within ascending
+  // query) performs the identical addition sequence.
+  double utility = 0.0;
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    const auto& yi = y[i];
+    for (const Entry& e : rows_[i]) {
+      if (yi[e.index]) utility += e.benefit;
+    }
+  }
+  const auto& overhead = problem_->overhead;
+  for (size_t j = 0; j < overhead.size(); ++j) {
+    if (z[j]) utility -= overhead[j];
+  }
+  return utility;
+}
+
+double MvsProblemIndex::CurrentBenefit(
+    size_t j, const std::vector<std::vector<bool>>& y) const {
+  // Matches the dense pass `for i: if (y[i][j] && benefit[i][j] > 0)
+  // b_cur[j] += benefit[i][j]` — ascending query order over the column.
+  double total = 0.0;
+  for (const Entry& e : columns_[j]) {
+    if (e.benefit > 0 && y[e.index][j]) total += e.benefit;
+  }
+  return total;
+}
+
+}  // namespace autoview

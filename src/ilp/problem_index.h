@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ilp/problem.h"
+
+namespace autoview {
+
+/// \brief Read-only sparse index over one MvsProblem, built once per
+/// Select() call and shared by every concurrent trial (const access
+/// only after construction).
+///
+/// The dense problem arrays stay the source of truth; the index holds
+/// three sparse projections of them plus the per-view aggregates the
+/// solvers re-derived from scratch every iteration:
+///
+///  * CSR benefit rows: per query, the (view, B_ij) entries with
+///    B_ij > 0, stored in ascending view order. Ascending order matters:
+///    it makes sparse sums bit-identical to the dense row-major scans
+///    they replace (the dense loops skip non-positive / unused cells, so
+///    visiting only the support in the same order performs the exact
+///    same float additions — see DESIGN.md §9).
+///  * An inverted view -> queries index over the *nonzero* cells
+///    (negative benefits included, matching the `benefit != 0` affected
+///    test in RLView's environment step), ascending query order.
+///  * Overlap adjacency lists replacing O(|Z|) dense row scans.
+///
+/// Each CSR row also carries a benefit-descending permutation computed
+/// with the same std::sort call Y-Opt uses, so rows without duplicate
+/// benefits can skip the per-solve sort (for rows with ties the solver
+/// re-sorts the z-filtered subset, because an unstable sort of a subset
+/// is not guaranteed to equal the filtered sort of the full row).
+class MvsProblemIndex {
+ public:
+  /// One nonzero benefit cell.
+  struct Entry {
+    size_t index;    ///< view (in rows) or query (in columns)
+    double benefit;  ///< B_ij as stored in the dense matrix
+  };
+
+  explicit MvsProblemIndex(const MvsProblem& problem);
+
+  const MvsProblem& problem() const { return *problem_; }
+  size_t num_queries() const { return problem_->num_queries(); }
+  size_t num_views() const { return problem_->num_views(); }
+
+  /// Positive-benefit entries of query i, ascending view index.
+  const std::vector<Entry>& Row(size_t i) const { return rows_[i]; }
+
+  /// Positions into Row(i) ordered by descending benefit (the Y-Opt
+  /// exploration order), computed with the solver's own comparator.
+  const std::vector<size_t>& RowByBenefit(size_t i) const {
+    return rows_by_benefit_[i];
+  }
+
+  /// True when Row(i) contains duplicate benefit values, in which case
+  /// RowByBenefit() must not substitute for a per-subset sort.
+  bool RowHasTies(size_t i) const { return row_has_ties_[i]; }
+
+  /// Nonzero-benefit entries of view j's column, ascending query index.
+  const std::vector<Entry>& Column(size_t j) const { return columns_[j]; }
+
+  /// Views overlapping view j (Definition 5), ascending.
+  const std::vector<size_t>& Overlapping(size_t j) const {
+    return adjacency_[j];
+  }
+
+  /// B_max[j], bit-identical to MvsProblem::MaxBenefit(j).
+  double MaxBenefit(size_t j) const { return max_benefit_[j]; }
+
+  /// sum_j O_j and sum_j B_max[j], accumulated in ascending view order
+  /// (the order the naive per-iteration aggregate loops used).
+  double TotalOverhead() const { return total_overhead_; }
+  double TotalMaxBenefit() const { return total_max_benefit_; }
+
+  /// Total nonzero benefit cells (sizing work estimates and tests).
+  size_t NumNonzero() const { return num_nonzero_; }
+
+  /// Total positive benefit cells — exactly the cells a sparse utility
+  /// evaluation reads (the benefit-cell count charged to
+  /// GlobalSelection() by the incremental engines).
+  size_t NumPositive() const { return num_positive_; }
+
+  /// Utility of (z, y), bit-identical to the dense EvaluateUtility for
+  /// any y whose support is within the positive-benefit support (true
+  /// for every y the solvers produce). Reads O(nnz + |Z|) cells instead
+  /// of |Q| x |Z|; the cells actually read are counted into
+  /// GlobalSelection() by the callers, not here.
+  double EvaluateUtilitySparse(const std::vector<bool>& z,
+                               const std::vector<std::vector<bool>>& y) const;
+
+  /// Recomputes b_cur[j] = sum_i { B_ij : y_ij, B_ij > 0 } for one view,
+  /// bit-identical to the dense benefit pass (ascending query order).
+  double CurrentBenefit(size_t j,
+                        const std::vector<std::vector<bool>>& y) const;
+
+ private:
+  const MvsProblem* problem_;
+  std::vector<std::vector<Entry>> rows_;
+  std::vector<std::vector<size_t>> rows_by_benefit_;
+  std::vector<bool> row_has_ties_;
+  std::vector<std::vector<Entry>> columns_;
+  std::vector<std::vector<size_t>> adjacency_;
+  std::vector<double> max_benefit_;
+  double total_overhead_ = 0.0;
+  double total_max_benefit_ = 0.0;
+  size_t num_nonzero_ = 0;
+  size_t num_positive_ = 0;
+};
+
+}  // namespace autoview

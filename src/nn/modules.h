@@ -46,6 +46,9 @@ class Linear : public Module {
   size_t in_features() const { return w_.rows(); }
   size_t out_features() const { return w_.cols(); }
 
+  const Tensor& weight() const { return w_; }
+  const Tensor& bias() const { return b_; }
+
  private:
   Tensor w_;
   Tensor b_;
@@ -143,9 +146,45 @@ class Mlp : public Module {
   /// network sync in DQN).
   void CopyFrom(const Mlp& other);
 
+  const std::vector<Linear>& layers() const { return layers_; }
+  bool relu_last() const { return relu_last_; }
+
  private:
   std::vector<Linear> layers_;
   bool relu_last_;
+};
+
+/// \brief Allocation-free forward evaluator for an Mlp (the no-grad
+/// inference fast path).
+///
+/// Holds transposed snapshots of the layer weights (so the inner product
+/// of MatMulTB streams two contiguous rows) plus two reusable activation
+/// buffers; Forward() builds no tape nodes and allocates nothing after
+/// the first call at a given batch size. Outputs are bit-identical to
+/// Mlp::Forward on the same input: per element, MatMulTB replays the
+/// exact accumulation order of MatMul, then the bias add and ReLU apply
+/// in the same per-element order as Add/ReLU.
+///
+/// The snapshot is taken at construction; after any parameter update
+/// (optimizer step, CopyFrom) call Refresh() or results go stale. Not
+/// thread-safe — each thread needs its own instance.
+class MlpInference {
+ public:
+  explicit MlpInference(const Mlp* mlp);
+
+  /// Re-snapshots the current parameter values of the wrapped Mlp.
+  void Refresh();
+
+  /// Forward pass over `rows` inputs of in_features each (row-major).
+  /// The returned buffer (rows x out_features) is owned by this object
+  /// and valid until the next Forward() call.
+  const std::vector<Scalar>& Forward(const Scalar* x, size_t rows);
+
+ private:
+  const Mlp* mlp_;
+  std::vector<std::vector<Scalar>> wt_;    // per layer: out x in (W^T)
+  std::vector<std::vector<Scalar>> bias_;  // per layer: out
+  std::vector<Scalar> buffers_[2];
 };
 
 }  // namespace nn

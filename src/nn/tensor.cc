@@ -11,20 +11,29 @@ using internal::Node;
 
 namespace {
 
+/// Depth of nested NoGradGuards on this thread.
+thread_local int no_grad_depth = 0;
+
 std::shared_ptr<Node> NewNode(size_t rows, size_t cols, bool requires_grad) {
   auto node = std::make_shared<Node>();
   node->rows = rows;
   node->cols = cols;
   node->value.assign(rows * cols, 0.0);
-  node->grad.assign(rows * cols, 0.0);
-  node->requires_grad = requires_grad;
+  if (no_grad_depth == 0) {
+    node->grad.assign(rows * cols, 0.0);
+    node->requires_grad = requires_grad;
+  }
   return node;
 }
 
 /// Creates the result node of an op over `parents`; requires_grad is
-/// inherited from any parent.
+/// inherited from any parent. Under a NoGradGuard the parents are
+/// dropped (no graph retention) and the node carries no gradient; the
+/// backward closures the ops still attach are then unreachable, since
+/// Backward() refuses to start from a gradient-less node.
 std::shared_ptr<Node> OpNode(size_t rows, size_t cols,
                              std::vector<std::shared_ptr<Node>> parents) {
+  if (no_grad_depth > 0) return NewNode(rows, cols, /*requires_grad=*/false);
   bool needs_grad = false;
   for (const auto& p : parents) needs_grad |= p->requires_grad;
   auto node = NewNode(rows, cols, needs_grad);
@@ -33,6 +42,11 @@ std::shared_ptr<Node> OpNode(size_t rows, size_t cols,
 }
 
 }  // namespace
+
+NoGradGuard::NoGradGuard() { ++no_grad_depth; }
+NoGradGuard::~NoGradGuard() { --no_grad_depth; }
+
+bool InferenceMode() { return no_grad_depth > 0; }
 
 Tensor Tensor::Zeros(size_t rows, size_t cols, bool requires_grad) {
   return Tensor(NewNode(rows, cols, requires_grad));
@@ -68,6 +82,8 @@ Tensor Tensor::Uniform(size_t rows, size_t cols, Scalar scale, Rng* rng) {
 void Tensor::Backward() const {
   AV_CHECK(node_ != nullptr);
   AV_CHECK_EQ(node_->size(), 1u);
+  // Results produced under a NoGradGuard have no gradient storage.
+  AV_CHECK(!node_->grad.empty());
   // Topological order via iterative post-order DFS.
   std::vector<Node*> order;
   std::unordered_set<Node*> visited;
@@ -139,6 +155,49 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
     }
   };
   return Tensor(out);
+}
+
+void MatMulTB(const Scalar* a, size_t m, size_t k, const Scalar* bt, size_t n,
+              Scalar* out) {
+  // Each output element owns an independent accumulator filled over p in
+  // ascending order with the `aip == 0.0` skip, i.e. exactly the float
+  // additions MatMul's forward performs for that element — only the
+  // traversal (row-of-a times row-of-bt, 4 columns at a time) differs.
+  constexpr size_t kTile = 4;
+  for (size_t i = 0; i < m; ++i) {
+    const Scalar* ai = a + i * k;
+    Scalar* oi = out + i * n;
+    size_t j = 0;
+    for (; j + kTile <= n; j += kTile) {
+      const Scalar* b0 = bt + j * k;
+      const Scalar* b1 = b0 + k;
+      const Scalar* b2 = b1 + k;
+      const Scalar* b3 = b2 + k;
+      Scalar acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+      for (size_t p = 0; p < k; ++p) {
+        const Scalar aip = ai[p];
+        if (aip == 0.0) continue;
+        acc0 += aip * b0[p];
+        acc1 += aip * b1[p];
+        acc2 += aip * b2[p];
+        acc3 += aip * b3[p];
+      }
+      oi[j] = acc0;
+      oi[j + 1] = acc1;
+      oi[j + 2] = acc2;
+      oi[j + 3] = acc3;
+    }
+    for (; j < n; ++j) {
+      const Scalar* bj = bt + j * k;
+      Scalar acc = 0.0;
+      for (size_t p = 0; p < k; ++p) {
+        const Scalar aip = ai[p];
+        if (aip == 0.0) continue;
+        acc += aip * bj[p];
+      }
+      oi[j] = acc;
+    }
+  }
 }
 
 Tensor Add(const Tensor& a, const Tensor& b) {

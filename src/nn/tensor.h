@@ -36,6 +36,30 @@ struct Node {
 
 }  // namespace internal
 
+/// \brief RAII scope that disables autograd-tape construction on the
+/// current thread (the no-grad inference mode).
+///
+/// Ops executed inside the scope produce bit-identical values but their
+/// result nodes allocate no gradient buffer, record no parents, and
+/// never require grad — so the graph is not retained and intermediate
+/// nodes free as soon as their Tensor handles go out of scope. Calling
+/// Backward() on a tensor produced under the guard is a programming
+/// error (it has no gradient storage and AV_CHECKs).
+///
+/// The flag is thread-local: pool workers each control their own scope
+/// (training on one thread is unaffected by inference on another).
+/// Guards nest.
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+};
+
+/// True while at least one NoGradGuard is alive on this thread.
+bool InferenceMode();
+
 /// \brief A handle to an autograd tape node holding a 2-D matrix.
 ///
 /// Tensors are created by factories or produced by the free-function ops
@@ -97,6 +121,17 @@ class Tensor {
 
 /// Matrix product: (m x k) * (k x n) -> (m x n).
 Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// Raw no-autograd kernel: out = a * b with `bt` supplied transposed
+/// (n x k row-major), writing into caller-owned storage — no tape node
+/// is created. Every out[i][j] is accumulated over p in ascending order
+/// with the same `a[i][p] == 0.0` skip as MatMul's forward loop, so the
+/// result is bit-identical to MatMul (NaN/Inf propagation included);
+/// the transposed layout turns the inner product into two contiguous
+/// streams and the column tiling amortizes reloads of a's row. `out`
+/// must hold m x n scalars and may not alias the inputs.
+void MatMulTB(const Scalar* a, size_t m, size_t k, const Scalar* bt, size_t n,
+              Scalar* out);
 
 /// Element-wise sum; `b` may also be a 1xN row vector broadcast over
 /// `a`'s rows (bias add).

@@ -1,8 +1,10 @@
 #include "select/iterview.h"
 
 #include <algorithm>
+#include <memory>
 #include <utility>
 
+#include "ilp/problem_index.h"
 #include "util/metrics.h"
 #include "util/thread_pool.h"
 
@@ -60,6 +62,45 @@ double FlipProbabilityWith(const MvsProblem& problem, const Aggregates& agg,
   p_overhead = std::clamp(p_overhead, 0.0, 1.0);
   p_benefit = std::clamp(p_benefit, 0.0, 1.0);
   return p_overhead * p_benefit;
+}
+
+/// ComputeAggregates with the O(|Q| x |Z|) part — the per-view B_max
+/// recomputation — served from the index. The remaining O(|Z|) loop
+/// accumulates o_cur / b_cur_total in the same ascending order as the
+/// naive pass, so every aggregate is bit-identical.
+Aggregates ComputeAggregatesIndexed(const MvsProblemIndex& index,
+                                    const std::vector<double>& b_cur,
+                                    const std::vector<bool>& z) {
+  Aggregates agg;
+  const size_t nz = index.num_views();
+  const auto& overhead = index.problem().overhead;
+  agg.max_benefit.resize(nz);
+  agg.o_max = index.TotalOverhead();
+  agg.b_max_total = index.TotalMaxBenefit();
+  for (size_t k = 0; k < nz; ++k) {
+    agg.max_benefit[k] = index.MaxBenefit(k);
+    if (z[k]) agg.o_cur += overhead[k];
+    agg.b_cur_total += b_cur[k];
+  }
+  return agg;
+}
+
+/// ZOptStep driven by the index; appends each flipped view to `flipped`
+/// so the caller can propagate dirtiness. Flip decisions are identical
+/// to ZOptStep's.
+void ZOptStepRecording(const MvsProblemIndex& index,
+                       const std::vector<double>& b_cur, double tau,
+                       bool frozen, std::vector<bool>* z,
+                       std::vector<size_t>* flipped) {
+  const Aggregates agg = ComputeAggregatesIndexed(index, b_cur, *z);
+  const MvsProblem& problem = index.problem();
+  for (size_t j = 0; j < z->size(); ++j) {
+    if (frozen && (*z)[j]) continue;  // BigSub: selected stays selected
+    if (FlipProbabilityWith(problem, agg, b_cur, j, *z) >= tau) {
+      (*z)[j] = !(*z)[j];
+      flipped->push_back(j);
+    }
+  }
 }
 
 }  // namespace
@@ -140,6 +181,7 @@ TrialResult RunTrial(const MvsProblem& problem,
   best.y = y;
   best.utility = EvaluateUtility(problem, z, y);
   trial.trace.push_back(best.utility);
+  GlobalSelection().RecordUtilityCells(static_cast<uint64_t>(nq) * nz);
 
   std::vector<double> b_cur(nz, 0.0);
   for (size_t iter = 0; iter < options.iterations; ++iter) {
@@ -163,7 +205,150 @@ TrialResult RunTrial(const MvsProblem& problem,
     const bool frozen = iter >= options.freeze_selected_after;
     internal::ZOptStep(problem, b_cur, tau, frozen, &z);
     y = yopt.SolveAll(z);
+    GlobalSelection().RecordQueriesSolved(nq);
     const double utility = EvaluateUtility(problem, z, y);
+    GlobalSelection().RecordUtilityCells(static_cast<uint64_t>(nq) * nz);
+    trial.trace.push_back(utility);
+    if (utility > best.utility) {
+      best.z = z;
+      best.y = y;
+      best.utility = utility;
+    }
+  }
+  return trial;
+}
+
+/// The incremental engine's trial: same Rng stream and the same
+/// arithmetic as RunTrial — the equivalence tests assert bit-identical
+/// traces and solutions — but per-iteration work scales with what the
+/// Z-Opt pass actually flipped:
+///  * per-view aggregates (B_max, the totals) come precomputed from the
+///    index instead of an O(|Q| x |Z|) rescan,
+///  * Y-Opt re-solves only queries whose positive support meets a
+///    flipped view (all queries on the first pass: the random-init rows
+///    are not solver outputs, so none may be reused),
+///  * b_cur is re-derived only for views whose usage column changed,
+///  * utilities are sparse ordered re-sums over the CSR support.
+/// Sums are *recomputed sparsely in the naive summation order*, never
+/// float-delta-adjusted, which is what makes them bit-identical despite
+/// FP non-associativity (DESIGN.md §9).
+TrialResult RunTrialIncremental(const MvsProblem& problem,
+                                const MvsProblemIndex& index,
+                                const IterViewSelector::Options& options,
+                                uint64_t seed) {
+  TrialResult trial;
+  Rng rng(seed);
+  const size_t nz = problem.num_views();
+  const size_t nq = problem.num_queries();
+  YOptSolver yopt(&problem, &index);
+
+  // Random initialization of Z and Y (function IterView, lines 3-9),
+  // drawing the exact Bernoulli sequence of the naive loop: that loop
+  // visits selected positive-benefit views in ascending order, i.e. the
+  // CSR row filtered by z. Its conflict probe scanned all |Z| views per
+  // cell (the latent |Q| x |Z| x |Z| quadratic); probing whichever is
+  // smaller of the overlap adjacency and the row's already-used views
+  // gives the same boolean at O(min(degree, support)) cost.
+  std::vector<bool> z(nz);
+  for (size_t j = 0; j < nz; ++j) z[j] = rng.Bernoulli(0.5);
+  std::vector<std::vector<bool>> y(nq, std::vector<bool>(nz, false));
+  std::vector<size_t> used;
+  for (size_t i = 0; i < nq; ++i) {
+    used.clear();
+    for (const MvsProblemIndex::Entry& e : index.Row(i)) {
+      if (!z[e.index]) continue;
+      bool conflict = false;
+      const std::vector<size_t>& adjacent = index.Overlapping(e.index);
+      if (adjacent.size() < used.size()) {
+        for (size_t k : adjacent) {
+          if (y[i][k]) {
+            conflict = true;
+            break;
+          }
+        }
+      } else {
+        for (size_t k : used) {
+          if (problem.overlap[e.index][k]) {
+            conflict = true;
+            break;
+          }
+        }
+      }
+      if (!conflict && rng.Bernoulli(0.5)) {
+        y[i][e.index] = true;
+        used.push_back(e.index);
+      }
+    }
+  }
+
+  MvsSolution& best = trial.solution;
+  best.z = z;
+  best.y = y;
+  best.utility = index.EvaluateUtilitySparse(z, y);
+  trial.trace.push_back(best.utility);
+  GlobalSelection().RecordUtilityCells(index.NumPositive());
+
+  // b_cur always equals what the naive loop would recompute from the
+  // current y at the top of the next iteration (CurrentBenefit performs
+  // the identical ascending-query summation).
+  std::vector<double> b_cur(nz, 0.0);
+  for (size_t j = 0; j < nz; ++j) b_cur[j] = index.CurrentBenefit(j, y);
+
+  std::vector<size_t> flipped;
+  std::vector<bool> query_dirty(nq, false);
+  std::vector<size_t> dirty_queries;
+  std::vector<bool> view_dirty(nz, false);
+  std::vector<size_t> dirty_views;
+
+  for (size_t iter = 0; iter < options.iterations; ++iter) {
+    if (StopRequested(options.deadline, options.cancel)) {
+      trial.timed_out = true;
+      break;
+    }
+    const double tau = rng.Uniform01();
+    const bool frozen = iter >= options.freeze_selected_after;
+    flipped.clear();
+    internal::ZOptStepRecording(index, b_cur, tau, frozen, &z, &flipped);
+
+    // Queries to re-solve: positive support meets a flipped view. A
+    // clean query's optimum depends only on z restricted to its support,
+    // which did not change, so its cached row is already the solver's
+    // bit-exact answer.
+    dirty_queries.clear();
+    if (iter == 0) {
+      for (size_t i = 0; i < nq; ++i) dirty_queries.push_back(i);
+    } else {
+      for (size_t j : flipped) {
+        for (const MvsProblemIndex::Entry& e : index.Column(j)) {
+          if (e.benefit > 0 && !query_dirty[e.index]) {
+            query_dirty[e.index] = true;
+            dirty_queries.push_back(e.index);
+          }
+        }
+      }
+      std::sort(dirty_queries.begin(), dirty_queries.end());
+      for (size_t i : dirty_queries) query_dirty[i] = false;
+    }
+    GlobalSelection().RecordQueriesSolved(dirty_queries.size());
+
+    dirty_views.clear();
+    for (size_t i : dirty_queries) {
+      std::vector<bool> solved = yopt.SolveQuery(i, z);
+      for (const MvsProblemIndex::Entry& e : index.Row(i)) {
+        if (y[i][e.index] != solved[e.index] && !view_dirty[e.index]) {
+          view_dirty[e.index] = true;
+          dirty_views.push_back(e.index);
+        }
+      }
+      y[i] = std::move(solved);
+    }
+    for (size_t j : dirty_views) {
+      b_cur[j] = index.CurrentBenefit(j, y);
+      view_dirty[j] = false;
+    }
+
+    const double utility = index.EvaluateUtilitySparse(z, y);
+    GlobalSelection().RecordUtilityCells(index.NumPositive());
     trial.trace.push_back(utility);
     if (utility > best.utility) {
       best.z = z;
@@ -180,6 +365,13 @@ Result<MvsSolution> IterViewSelector::Select(const MvsProblem& problem) {
   AV_RETURN_NOT_OK(problem.Validate());
   trace_.clear();
 
+  // One index serves every trial: it is immutable after construction,
+  // so concurrent restarts share it without synchronization.
+  std::unique_ptr<MvsProblemIndex> index;
+  if (options_.engine == SelectionEngine::kIncremental) {
+    index = std::make_unique<MvsProblemIndex>(problem);
+  }
+
   const size_t restarts = std::max<size_t>(1, options_.restarts);
   std::vector<TrialResult> trials(restarts);
   auto run_trial = [&](size_t r) {
@@ -187,7 +379,8 @@ Result<MvsSolution> IterViewSelector::Select(const MvsProblem& problem) {
     // historical single-trial stream exactly.
     const uint64_t seed =
         r == 0 ? options_.seed : Rng::StreamSeed(options_.seed, r);
-    trials[r] = RunTrial(problem, options_, seed);
+    trials[r] = index ? RunTrialIncremental(problem, *index, options_, seed)
+                      : RunTrial(problem, options_, seed);
   };
   if (restarts == 1) {
     run_trial(0);

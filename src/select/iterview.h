@@ -35,6 +35,13 @@ class IterViewSelector : public ViewSelector {
     size_t restarts = 1;        ///< independent seeded trials, best kept
     ThreadPool* pool = nullptr; ///< trial executor; null => DefaultPool()
 
+    /// Evaluation engine. kIncremental (default) builds a sparse
+    /// MvsProblemIndex once per Select() and re-derives only what each
+    /// Z-flip touched; kNaive is the original dense per-iteration
+    /// recomputation, kept as the bit-identical oracle. Both produce
+    /// the same flip sequence, traces, and solutions for any seed.
+    SelectionEngine engine = SelectionEngine::kIncremental;
+
     /// Anytime budget: trials poll the deadline once per iteration and,
     /// when it expires, every trial stops and Select() returns the best
     /// incumbent seen so far with MvsSolution::timed_out set. The

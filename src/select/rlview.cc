@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "ilp/problem_index.h"
 #include "util/metrics.h"
 
 namespace autoview {
@@ -48,6 +49,47 @@ class QNet {
     return std::vector<double>(q.data().begin(), q.data().end());
   }
 
+  /// Enables ValuesFast(); call RefreshFastScoring() after every
+  /// parameter update (optimizer step, CopyFrom) or scores go stale.
+  void EnableFastScoring() {
+    advantage_inf_ = std::make_unique<nn::MlpInference>(&advantage_);
+    value_inf_ = std::make_unique<nn::MlpInference>(&value_);
+  }
+
+  void RefreshFastScoring() {
+    advantage_inf_->Refresh();
+    value_inf_->Refresh();
+  }
+
+  /// Values() through the no-grad inference path: no tape nodes, no
+  /// gradient buffers, reused activation storage. Bit-identical to
+  /// Values() — MlpInference replays MatMul/Add/ReLU's element-wise
+  /// arithmetic and the dueling combination below mirrors ForwardAll's
+  /// op order ((a - mean_a) + v with MeanRows' accumulation order).
+  std::vector<double> ValuesFast(const std::vector<nn::Scalar>& phis, size_t n,
+                                 size_t feature_dim) {
+    AV_CHECK(advantage_inf_ != nullptr);
+    const std::vector<nn::Scalar>& a = advantage_inf_->Forward(phis.data(), n);
+    std::vector<double> q(a.begin(), a.end());
+    if (!dueling_) return q;
+    std::vector<nn::Scalar> mean_x(feature_dim, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < feature_dim; ++j) {
+        mean_x[j] += phis[i * feature_dim + j];
+      }
+    }
+    for (size_t j = 0; j < feature_dim; ++j) {
+      mean_x[j] /= static_cast<nn::Scalar>(n);
+    }
+    nn::Scalar mean_a = 0.0;
+    for (size_t i = 0; i < n; ++i) mean_a += q[i];
+    mean_a /= static_cast<nn::Scalar>(n);
+    const nn::Scalar neg_mean_a = mean_a * -1.0;
+    const nn::Scalar v = value_inf_->Forward(mean_x.data(), 1)[0];
+    for (size_t i = 0; i < n; ++i) q[i] = (q[i] + neg_mean_a) + v;
+    return q;
+  }
+
   std::vector<Tensor> Parameters() const {
     std::vector<Tensor> params = advantage_.Parameters();
     if (dueling_) {
@@ -65,6 +107,8 @@ class QNet {
   bool dueling_;
   nn::Mlp advantage_;
   nn::Mlp value_;
+  std::unique_ptr<nn::MlpInference> advantage_inf_;
+  std::unique_ptr<nn::MlpInference> value_inf_;
 };
 
 }  // namespace
@@ -100,13 +144,19 @@ std::vector<nn::Scalar> RLViewSelector::ActionFeatures(
 Result<MvsSolution> RLViewSelector::Select(const MvsProblem& problem) {
   AV_RETURN_NOT_OK(problem.Validate());
   trace_.clear();
-  const size_t nz = problem.num_views();
-  const size_t nq = problem.num_queries();
-  if (nz == 0) {
+  if (problem.num_views() == 0) {
     MvsSolution empty;
-    empty.y.assign(nq, {});
+    empty.y.assign(problem.num_queries(), {});
     return empty;
   }
+  return options_.engine == SelectionEngine::kIncremental
+             ? SelectIncremental(problem)
+             : SelectNaive(problem);
+}
+
+Result<MvsSolution> RLViewSelector::SelectNaive(const MvsProblem& problem) {
+  const size_t nz = problem.num_views();
+  const size_t nq = problem.num_queries();
   YOptSolver yopt(&problem);
   Rng rng(options_.seed);
 
@@ -118,6 +168,7 @@ Result<MvsSolution> RLViewSelector::Select(const MvsProblem& problem) {
   warm_options.seed = options_.seed;
   warm_options.deadline = options_.deadline;
   warm_options.cancel = options_.cancel;
+  warm_options.engine = SelectionEngine::kNaive;
   IterViewSelector warm(warm_options);
   AV_ASSIGN_OR_RETURN(MvsSolution state, warm.Select(problem));
   for (double u : warm.utility_trace()) trace_.push_back(u);
@@ -226,11 +277,15 @@ Result<MvsSolution> RLViewSelector::Select(const MvsProblem& problem) {
       // Only queries that can use view `action` are affected, so the
       // per-query exact Y-Opt is re-run incrementally.
       z[action] = !z[action];
+      size_t solved = 0;
       for (size_t i = 0; i < nq; ++i) {
         if (problem.benefit[i][action] == 0.0) continue;
         y[i] = yopt.SolveQuery(i, z);
+        ++solved;
       }
+      GlobalSelection().RecordQueriesSolved(solved);
       const double next_utility = EvaluateUtility(problem, z, y);
+      GlobalSelection().RecordUtilityCells(static_cast<uint64_t>(nq) * nz);
       reward = next_utility - utility;
 
       b_cur = benefits_of(y);
@@ -277,6 +332,222 @@ Result<MvsSolution> RLViewSelector::Select(const MvsProblem& problem) {
         ++train_steps;
         if (use_target && train_steps % options_.target_sync_every == 0) {
           target_net.CopyFrom(dqn);
+        }
+      }
+      ++t;
+      // Paper termination: continue while t < |Z| or the last reward was
+      // positive; a hard cap bounds pathological positive-reward chains.
+    } while ((t < max_steps || reward > 0.0) && t < 4 * max_steps);
+  }
+  best.timed_out = timed_out;
+  // The warm start already recorded its own timeout; only count the
+  // episode phase here to keep one user-visible Select() == one record.
+  if (timed_out && !state.timed_out) GlobalRobustness().RecordTimeout();
+  return best;
+}
+
+/// SelectNaive with every dense recomputation replaced by its sparse,
+/// bit-identical counterpart (tests/problem_index_test.cc asserts the
+/// equivalence): the environment step re-solves exactly the inverted-
+/// index column of the flipped view, the per-step reward is a sparse
+/// re-sum over the CSR support — O(nnz) cells instead of |Q| x |Z| —
+/// b_cur is re-derived only for views whose usage changed, and every
+/// DQN action-scoring call runs through the no-grad inference path.
+/// Training (ForwardAll + Adam) keeps the autograd tape; the inference
+/// snapshots refresh after each parameter update.
+Result<MvsSolution> RLViewSelector::SelectIncremental(
+    const MvsProblem& problem) {
+  const size_t nz = problem.num_views();
+  const size_t nq = problem.num_queries();
+  const MvsProblemIndex index(problem);
+  YOptSolver yopt(&problem, &index);
+  Rng rng(options_.seed);
+
+  // Warm start: Z0, Y0 <- IterView (Algorithm 2, line 2); runs its own
+  // incremental engine (same bit-exact result as the naive one).
+  IterViewSelector::Options warm_options;
+  warm_options.iterations = options_.init_iterations;
+  warm_options.seed = options_.seed;
+  warm_options.deadline = options_.deadline;
+  warm_options.cancel = options_.cancel;
+  warm_options.engine = SelectionEngine::kIncremental;
+  IterViewSelector warm(warm_options);
+  AV_ASSIGN_OR_RETURN(MvsSolution state, warm.Select(problem));
+  for (double u : warm.utility_trace()) trace_.push_back(u);
+  MvsSolution best = state;
+  bool timed_out = state.timed_out;
+  best.timed_out = false;  // set again below if the run was cut short
+
+  // Per-problem invariants, served by the index (ascending-view
+  // accumulation, bit-identical to the dense pass).
+  std::vector<double> max_benefit(nz), overlap_degree(nz);
+  const double o_max = index.TotalOverhead();
+  const double b_max_total = index.TotalMaxBenefit();
+  for (size_t j = 0; j < nz; ++j) {
+    max_benefit[j] = index.MaxBenefit(j);
+    overlap_degree[j] = static_cast<double>(index.Overlapping(j).size()) /
+                        static_cast<double>(nz);
+  }
+  const double utility_scale = std::max(b_max_total, 1e-12);
+
+  // DQN mu(e|theta) (§V-B2) and the optional frozen target network.
+  QNet dqn(kFeatureDim, options_.dueling, &rng);
+  QNet target_net(kFeatureDim, options_.dueling, &rng);
+  target_net.CopyFrom(dqn);
+  dqn.EnableFastScoring();
+  target_net.EnableFastScoring();
+  const bool use_target = options_.target_sync_every > 0;
+  size_t train_steps = 0;
+  nn::Adam::Options adam_opts;
+  adam_opts.lr = options_.learning_rate;
+  nn::Adam adam(dqn.Parameters(), adam_opts);
+
+  std::deque<Transition> memory;
+  const size_t max_steps =
+      options_.max_steps_per_episode ? options_.max_steps_per_episode : nz;
+
+  // Row-major (nz x kFeatureDim) feature matrix for all actions.
+  auto features_of = [&](const std::vector<bool>& z,
+                         const std::vector<double>& b_cur, double utility) {
+    const double utility_norm = utility / utility_scale;
+    double o_cur = 0.0, b_cur_total = 0.0;
+    for (size_t k = 0; k < nz; ++k) {
+      if (z[k]) o_cur += problem.overhead[k];
+      b_cur_total += b_cur[k];
+    }
+    std::vector<nn::Scalar> phis(nz * kFeatureDim);
+    for (size_t j = 0; j < nz; ++j) {
+      nn::Scalar* row = &phis[j * kFeatureDim];
+      row[0] = z[j] ? 1.0 : 0.0;
+      row[1] = problem.overhead[j] / std::max(o_max, 1e-12);
+      row[2] = max_benefit[j] / std::max(b_max_total, 1e-12);
+      row[3] = b_cur[j] / std::max(b_cur_total, 1e-12);
+      row[4] = overlap_degree[j];
+      row[5] = utility_norm;
+      row[6] = o_cur / std::max(o_max, 1e-12);
+      row[7] = 1.0;
+    }
+    return phis;
+  };
+
+  // The episode start state is fixed, so its utility and per-view
+  // benefits are computed once (sparse, in the naive summation order)
+  // and copied at each restart.
+  const double state_utility = index.EvaluateUtilitySparse(state.z, state.y);
+  std::vector<double> state_b_cur(nz, 0.0);
+  for (size_t j = 0; j < nz; ++j) {
+    state_b_cur[j] = index.CurrentBenefit(j, state.y);
+  }
+
+  std::vector<bool> view_dirty(nz, false);
+  std::vector<size_t> dirty_views;
+
+  for (size_t episode = 0; episode < options_.episodes && !timed_out;
+       ++episode) {
+    // Linearly decaying exploration: explore early, exploit late.
+    const double epsilon =
+        options_.epsilon *
+        (1.0 - static_cast<double>(episode) /
+                   static_cast<double>(std::max<size_t>(1, options_.episodes)));
+    // Every episode restarts from the warm-start state (line 6).
+    std::vector<bool> z = state.z;
+    std::vector<std::vector<bool>> y = state.y;
+    double utility = state_utility;
+    std::vector<double> b_cur = state_b_cur;
+    std::vector<nn::Scalar> phis = features_of(z, b_cur, utility);
+
+    size_t t = 0;
+    double reward = 0.0;
+    do {
+      // Anytime behavior: keep the incumbent, stop the episode. The
+      // infinite default never reads the clock (bit-identity).
+      if (StopRequested(options_.deadline, options_.cancel)) {
+        timed_out = true;
+        break;
+      }
+      // Action selection: argmax_j Q(e_t)[j], epsilon-greedy.
+      size_t action;
+      if (rng.Bernoulli(epsilon)) {
+        action = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(nz) - 1));
+      } else {
+        std::vector<double> q = dqn.ValuesFast(phis, nz, kFeatureDim);
+        action = static_cast<size_t>(
+            std::max_element(q.begin(), q.end()) - q.begin());
+      }
+
+      // Environment step: flip z_a; the affected queries — those with
+      // benefit[i][action] != 0, i.e. the inverted-index column — are
+      // re-solved; views whose usage changed get b_cur re-derived.
+      z[action] = !z[action];
+      dirty_views.clear();
+      for (const MvsProblemIndex::Entry& e : index.Column(action)) {
+        std::vector<bool> solved_row = yopt.SolveQuery(e.index, z);
+        for (const MvsProblemIndex::Entry& re : index.Row(e.index)) {
+          if (y[e.index][re.index] != solved_row[re.index] &&
+              !view_dirty[re.index]) {
+            view_dirty[re.index] = true;
+            dirty_views.push_back(re.index);
+          }
+        }
+        y[e.index] = std::move(solved_row);
+      }
+      GlobalSelection().RecordQueriesSolved(index.Column(action).size());
+      const double next_utility = index.EvaluateUtilitySparse(z, y);
+      GlobalSelection().RecordUtilityCells(index.NumPositive());
+      reward = next_utility - utility;
+
+      for (size_t j : dirty_views) {
+        b_cur[j] = index.CurrentBenefit(j, y);
+        view_dirty[j] = false;
+      }
+      std::vector<nn::Scalar> next_phis = features_of(z, b_cur, next_utility);
+
+      Transition transition;
+      transition.state_actions = phis;
+      transition.action = action;
+      transition.reward = reward;
+      transition.next_actions = next_phis;
+      transition.num_actions = nz;
+      memory.push_back(std::move(transition));
+      if (memory.size() > options_.memory_capacity) memory.pop_front();
+
+      utility = next_utility;
+      phis = std::move(next_phis);
+      trace_.push_back(utility);
+      if (utility > best.utility) {
+        best.z = z;
+        best.y = y;
+        best.utility = utility;
+      }
+
+      // Fine-tune the DQN once the replay memory is warm (line 16).
+      // Bootstrap targets need no gradients, so they use the fast
+      // scorer; the prediction pass keeps the autograd tape.
+      if (memory.size() >= options_.min_memory) {
+        adam.ZeroGrad();
+        std::vector<Tensor> preds, targets;
+        for (size_t b = 0; b < options_.batch_size; ++b) {
+          const Transition& tr = memory[static_cast<size_t>(rng.UniformInt(
+              0, static_cast<int64_t>(memory.size()) - 1))];
+          QNet& bootstrap = use_target ? target_net : dqn;
+          std::vector<double> next_q = bootstrap.ValuesFast(
+              tr.next_actions, tr.num_actions, kFeatureDim);
+          const double target =
+              tr.reward +
+              options_.gamma * *std::max_element(next_q.begin(), next_q.end());
+          Tensor q_all =
+              dqn.ForwardAll(tr.state_actions, tr.num_actions, kFeatureDim);
+          preds.push_back(SelectRow(q_all, tr.action));
+          targets.push_back(Tensor::Full(1, 1, target));
+        }
+        MseLoss(nn::ConcatRows(preds), nn::ConcatRows(targets)).Backward();
+        adam.Step();
+        dqn.RefreshFastScoring();
+        ++train_steps;
+        if (use_target && train_steps % options_.target_sync_every == 0) {
+          target_net.CopyFrom(dqn);
+          target_net.RefreshFastScoring();
         }
       }
       ++t;

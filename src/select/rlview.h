@@ -44,6 +44,15 @@ class RLViewSelector : public ViewSelector {
     /// heads. Off by default (the paper's network is a plain MLP).
     bool dueling = false;
 
+    /// Evaluation engine. kIncremental (default) re-solves only the
+    /// queries touched by the flipped view via the inverted index,
+    /// computes each step's reward from a sparse utility re-sum, and
+    /// scores DQN actions through the no-grad inference fast path.
+    /// kNaive is the original dense implementation, kept as the
+    /// bit-identical oracle: same action sequence, rewards, network
+    /// weights, and solution for any seed.
+    SelectionEngine engine = SelectionEngine::kIncremental;
+
     /// Anytime budget shared by the IterView warm start and the RL
     /// episodes: polled between episode steps; on expiry Select()
     /// returns the best incumbent seen with MvsSolution::timed_out set.
@@ -67,6 +76,10 @@ class RLViewSelector : public ViewSelector {
                                          const std::vector<bool>& z,
                                          const std::vector<double>& b_cur,
                                          double utility_norm, size_t j) const;
+
+  /// The two engines behind Select() (see Options::engine).
+  Result<MvsSolution> SelectNaive(const MvsProblem& problem);
+  Result<MvsSolution> SelectIncremental(const MvsProblem& problem);
 
   Options options_;
 };

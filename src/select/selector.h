@@ -8,6 +8,21 @@
 
 namespace autoview {
 
+/// \brief Evaluation engine of the iterative selectors.
+///
+/// kIncremental (the default) builds an MvsProblemIndex per Select()
+/// call and re-derives only what each flip touched: Y-Opt re-solves
+/// dirty queries via the inverted index, per-view benefits are
+/// recomputed only for views whose usage changed, and utilities are
+/// sparse ordered re-sums over the nonzero support. kNaive keeps the
+/// original dense per-iteration recomputation; it is retained as the
+/// bit-identical oracle (tests/problem_index_test.cc) and as the
+/// baseline of bench/bench_selection_scale.cc.
+enum class SelectionEngine {
+  kNaive,
+  kIncremental,
+};
+
 /// \brief Common interface of the view-selection methods compared in
 /// Table IV / Figures 9-10.
 class ViewSelector {

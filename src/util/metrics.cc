@@ -56,6 +56,31 @@ RobustnessCounters& GlobalRobustness() {
   return counters;
 }
 
+void SelectionCounters::RecordUtilityCells(uint64_t cells) {
+  utility_cells_.fetch_add(cells, std::memory_order_relaxed);
+}
+
+void SelectionCounters::RecordQueriesSolved(uint64_t queries) {
+  queries_solved_.fetch_add(queries, std::memory_order_relaxed);
+}
+
+SelectionCounters::Snapshot SelectionCounters::Read() const {
+  Snapshot s;
+  s.utility_cells = utility_cells_.load(std::memory_order_relaxed);
+  s.queries_solved = queries_solved_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void SelectionCounters::Reset() {
+  utility_cells_.store(0, std::memory_order_relaxed);
+  queries_solved_.store(0, std::memory_order_relaxed);
+}
+
+SelectionCounters& GlobalSelection() {
+  static SelectionCounters counters;
+  return counters;
+}
+
 namespace {
 /// Library-boundary guard: mismatched inputs poison the metric (NaN)
 /// instead of aborting the process.

@@ -75,6 +75,41 @@ class RobustnessCounters {
 /// The process-wide robustness counters.
 RobustnessCounters& GlobalRobustness();
 
+/// \brief Lock-free work counters of the selection engines, so the
+/// naive-vs-incremental cost claims are verifiable by observation (not
+/// just wall time): how many benefit cells each utility/reward
+/// evaluation touched and how many per-query Y-Opt re-solves ran. The
+/// naive paths charge the dense |Q|x|Z| scan they perform; the
+/// incremental paths charge only the sparse support they actually read.
+class SelectionCounters {
+ public:
+  /// Benefit-matrix cells read while computing a utility (or a DQN
+  /// reward, which is a utility delta).
+  void RecordUtilityCells(uint64_t cells);
+
+  /// Per-query exact Y-Opt solves executed.
+  void RecordQueriesSolved(uint64_t queries);
+
+  struct Snapshot {
+    uint64_t utility_cells = 0;   ///< cells read by utility/reward evals
+    uint64_t queries_solved = 0;  ///< per-query Y-Opt invocations
+  };
+  Snapshot Read() const;
+
+  /// Zeroes every counter (tests, benches).
+  void Reset();
+
+ private:
+  // Relaxed (see util/annotations.h conventions): hammered from pool
+  // workers in parallel trials; only per-counter totals matter, no
+  // cross-counter ordering is promised.
+  std::atomic<uint64_t> utility_cells_{0};
+  std::atomic<uint64_t> queries_solved_{0};
+};
+
+/// The process-wide selection-work counters.
+SelectionCounters& GlobalSelection();
+
 /// \brief Streaming mean / variance / min / max accumulator (Welford).
 class RunningStat {
  public:

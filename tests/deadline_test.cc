@@ -115,6 +115,31 @@ TEST(AnytimeSelectionTest, IterViewUnderTightDeadlineStaysFeasible) {
   EXPECT_GE(GlobalRobustness().Read().selection_timeouts, 1u);
 }
 
+TEST(AnytimeSelectionTest, TightDeadlineStaysFeasibleOnBothEngines) {
+  // The engine dispatch must not weaken any anytime guarantee: under a
+  // wall-clock budget both the naive oracle and the incremental fast
+  // path poll at the same per-iteration point and return a feasible,
+  // non-negative incumbent. (The runs are not comparable to each other
+  // here — wall-clock expiry is nondeterministic; bit-equivalence under
+  // *deterministic* expiry is covered in problem_index_test.cc.)
+  const MvsProblem problem = testing::RandomSparseProblem(50, 200, 13, 0.05);
+  for (SelectionEngine engine :
+       {SelectionEngine::kNaive, SelectionEngine::kIncremental}) {
+    IterViewSelector::Options options;
+    options.iterations = 200'000;  // far more than 1ms allows
+    options.seed = 7;
+    options.engine = engine;
+    options.deadline = Deadline::AfterMillis(1.0);
+    IterViewSelector selector(options);
+    auto r = selector.Select(problem);
+    ASSERT_TRUE(r.ok());
+    const MvsSolution& s = r.value();
+    EXPECT_TRUE(s.timed_out);
+    EXPECT_TRUE(IsFeasible(problem, s.z, s.y));
+    EXPECT_GE(s.utility, 0.0);
+  }
+}
+
 TEST(AnytimeSelectionTest, NoDeadlineRunDominatesDeadlineRun) {
   const MvsProblem problem = testing::RandomProblem(30, 24, 13);
 

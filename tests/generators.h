@@ -36,5 +36,38 @@ inline MvsProblem RandomProblem(size_t nq, size_t nz, uint64_t seed) {
   return p;
 }
 
+/// A sparse MVS instance (default ~5% nonzero benefits, the regime the
+/// incremental selection engine targets). `negative_fraction` of the
+/// nonzero cells get a negative benefit, exercising the nonzero-but-
+/// not-positive distinction between the inverted index (affected-query
+/// tests) and the CSR rows (solver/utility support).
+inline MvsProblem RandomSparseProblem(size_t nq, size_t nz, uint64_t seed,
+                                      double density = 0.05,
+                                      double negative_fraction = 0.0) {
+  Rng rng(seed);
+  MvsProblem p;
+  p.overhead.resize(nz);
+  p.frequency.assign(nz, 0);
+  for (auto& o : p.overhead) o = rng.Uniform(0.5, 5.0);
+  p.benefit.assign(nq, std::vector<double>(nz, 0.0));
+  for (auto& row : p.benefit) {
+    for (size_t j = 0; j < nz; ++j) {
+      if (!rng.Bernoulli(density)) continue;
+      const double magnitude = rng.Uniform(0.1, 3.0);
+      const bool negative =
+          negative_fraction > 0.0 && rng.Bernoulli(negative_fraction);
+      row[j] = negative ? -magnitude : magnitude;
+      if (!negative) ++p.frequency[j];
+    }
+  }
+  p.overlap.assign(nz, std::vector<bool>(nz, false));
+  for (size_t j = 0; j < nz; ++j) {
+    for (size_t k = j + 1; k < nz; ++k) {
+      if (rng.Bernoulli(0.05)) p.overlap[j][k] = p.overlap[k][j] = true;
+    }
+  }
+  return p;
+}
+
 }  // namespace testing
 }  // namespace autoview

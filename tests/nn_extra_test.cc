@@ -132,5 +132,77 @@ TEST(AdamTest, WeightDecayShrinksWeights) {
   EXPECT_LT(std::fabs(w.data()[0]), 10.0);
 }
 
+// ---------------------------------------------------------------------
+// No-grad inference fast path.
+
+TEST(NoGradTest, GuardSkipsGraphButKeepsValues) {
+  Rng rng(3);
+  nn::Mlp mlp({6, 8, 1}, &rng);
+  std::vector<nn::Scalar> input(2 * 6);
+  for (auto& v : input) v = rng.Uniform(-1.0, 1.0);
+  nn::Tensor x_grad = nn::Tensor::FromData(input, 2, 6);
+  nn::Tensor with_graph = mlp.Forward(x_grad);
+
+  ASSERT_FALSE(nn::InferenceMode());
+  nn::Tensor no_graph;
+  {
+    nn::NoGradGuard guard;
+    EXPECT_TRUE(nn::InferenceMode());
+    nn::Tensor x = nn::Tensor::FromData(input, 2, 6);
+    no_graph = mlp.Forward(x);
+  }
+  EXPECT_FALSE(nn::InferenceMode());
+  // Bit-identical values...
+  EXPECT_EQ(no_graph.data(), with_graph.data());
+  // ...but no autograd bookkeeping: no grad storage, no graph, and the
+  // result never requires grad even though the parameters do.
+  EXPECT_TRUE(no_graph.grad().empty());
+  EXPECT_TRUE(no_graph.node()->parents.empty());
+  EXPECT_FALSE(no_graph.requires_grad());
+  EXPECT_TRUE(with_graph.requires_grad());
+}
+
+TEST(NoGradTest, MatMulTBBitIdenticalToMatMul) {
+  Rng rng(17);
+  const size_t m = 5, k = 7, n = 9;  // n % tile != 0 exercises the tail
+  std::vector<nn::Scalar> a(m * k), b(k * n), bt(n * k);
+  for (auto& v : a) v = rng.Bernoulli(0.3) ? 0.0 : rng.Uniform(-2.0, 2.0);
+  for (auto& v : b) v = rng.Uniform(-2.0, 2.0);
+  for (size_t p = 0; p < k; ++p) {
+    for (size_t j = 0; j < n; ++j) bt[j * k + p] = b[p * n + j];
+  }
+  nn::Tensor ref =
+      nn::MatMul(nn::Tensor::FromData(a, m, k), nn::Tensor::FromData(b, k, n));
+  std::vector<nn::Scalar> out(m * n, -1.0);
+  nn::MatMulTB(a.data(), m, k, bt.data(), n, out.data());
+  EXPECT_EQ(out, ref.data());
+}
+
+TEST(NoGradTest, MlpInferenceMatchesForwardAndRefreshes) {
+  Rng rng(23);
+  nn::Mlp mlp({8, 16, 16, 1}, &rng);
+  nn::MlpInference inference(&mlp);
+  std::vector<nn::Scalar> batch(10 * 8);
+  for (auto& v : batch) v = rng.Uniform(-1.5, 1.5);
+
+  nn::Tensor ref = mlp.Forward(nn::Tensor::FromData(batch, 10, 8));
+  EXPECT_EQ(inference.Forward(batch.data(), 10), ref.data());
+
+  // Stale snapshots must be refreshable after a parameter update.
+  nn::Adam adam(mlp.Parameters(), {});
+  nn::Tensor loss =
+      nn::Mean(mlp.Forward(nn::Tensor::FromData(batch, 10, 8)));
+  mlp.ZeroGrad();
+  loss.Backward();
+  adam.Step();
+  inference.Refresh();
+  nn::Tensor after = mlp.Forward(nn::Tensor::FromData(batch, 10, 8));
+  EXPECT_EQ(inference.Forward(batch.data(), 10), after.data());
+  // Single-row calls reuse the same buffers.
+  nn::Tensor one = mlp.Forward(nn::Tensor::FromData(
+      std::vector<nn::Scalar>(batch.begin(), batch.begin() + 8), 1, 8));
+  EXPECT_EQ(inference.Forward(batch.data(), 1), one.data());
+}
+
 }  // namespace
 }  // namespace autoview
