@@ -1,0 +1,91 @@
+// Throughput harness: runs the load generator over the WK1/WK2 presets
+// (scaled and, with --full-too or AUTOVIEW_BENCH_FULL=1, the full paper
+// counts of Table I) and writes BENCH_throughput.json. Each row reports
+// QPS and p50/p95/p99 latency of the parse -> rewrite -> execute serving
+// path after view selection, plus the compressed benefit-matrix
+// footprint and peak RSS of the whole pipeline.
+//
+// Usage: bench_throughput [loadgen flags...] — flags are forwarded to
+// ParseLoadGenArgs and applied on top of each preset row (e.g.
+// --clients=16 --measure_s=10).
+
+#include <cstdlib>
+#include <cstring>
+
+#include "bench/loadgen.h"
+#include "bench_common.h"
+
+namespace autoview {
+namespace bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  bool full_too = std::getenv("AUTOVIEW_BENCH_FULL") != nullptr;
+  std::vector<std::string> flags;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full-too") == 0) {
+      full_too = true;
+    } else {
+      flags.push_back(argv[i]);
+    }
+  }
+
+  struct Row {
+    const char* workload;
+    bool full;
+  };
+  std::vector<Row> rows = {{"WK1", false}, {"WK2", false}};
+  if (full_too) {
+    rows.push_back({"WK1", true});
+    rows.push_back({"WK2", true});
+  }
+
+  std::vector<LoadGenResult> results;
+  for (const Row& row : rows) {
+    std::vector<std::string> args = flags;
+    args.push_back(StrFormat("--workload=%s", row.workload));
+    args.push_back(StrFormat("--full=%s", row.full ? "true" : "false"));
+    Result<LoadGenConfig> config = ParseLoadGenArgs(args);
+    if (!config.ok()) {
+      std::fprintf(stderr, "bad flags: %s\n",
+                   config.status().ToString().c_str());
+      return 1;
+    }
+    // Full-scale rows keep the run bounded: a fixed request budget per
+    // client instead of a timed window, and a short selection deadline.
+    if (row.full && config.value().max_requests == 0) {
+      config.value().max_requests = 25;
+    }
+    std::fprintf(stderr, "[bench_throughput] %s %s ...\n", row.workload,
+                 row.full ? "full" : "scaled");
+    Result<LoadGenResult> result = RunLoadGen(config.value());
+    if (!result.ok()) {
+      std::fprintf(stderr, "loadgen failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    results.push_back(result.value());
+    std::fprintf(stderr,
+                 "[bench_throughput] %s %s: %zu req, %.1f qps, "
+                 "p50 %.3f ms, p99 %.3f ms, rss %.1f MB\n",
+                 row.workload, row.full ? "full" : "scaled",
+                 results.back().requests, results.back().qps,
+                 results.back().p50_ms, results.back().p99_ms,
+                 results.back().peak_rss_mb);
+  }
+
+  const std::string json = ThroughputJson(results);
+  std::fputs(json.c_str(), stdout);
+  Status write = WriteTextFile("BENCH_throughput.json", json);
+  if (!write.ok()) {
+    std::fprintf(stderr, "write failed: %s\n", write.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace autoview
+
+int main(int argc, char** argv) { return autoview::bench::Run(argc, argv); }

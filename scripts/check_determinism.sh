@@ -71,6 +71,25 @@ $out
 EOF
 done
 
+# Loadgen seed flow: every Rng the load generator constructs must be
+# derived from a seed variable (ultimately LoadGenConfig::seed — the
+# harness contract is that one --seed flag reproduces a whole run).
+# A literal-seeded or default-constructed Rng in src/bench/ would make
+# the "deterministic schedule" tests meaningless, so any `Rng x(...)`
+# whose argument does not mention a seed fails the build.
+for f in $(av_src_files); do
+  rel=${f#"$av_root"/}
+  case "$rel" in src/bench/*) ;; *) continue ;; esac
+  out=$(av_strip_comments "$f" |
+        grep -nE '(^|[^_[:alnum:]])Rng[[:space:]]+[A-Za-z_]+\(' |
+        grep -vE 'Rng[[:space:]]+[A-Za-z_]+\([^)]*[Ss]eed') || continue
+  while IFS= read -r line; do
+    av_fail "$rel" "${line%%:*}" "${line#*:}" 'loadgen-seed-flow'
+  done <<EOF
+$out
+EOF
+done
+
 # Mutex members must be annotated nearby: a Mutex declaration with no
 # AV_GUARDED_BY / AV_REQUIRES / AV_ACQUIRE user within +/-8 lines means
 # nobody wrote down what it protects.

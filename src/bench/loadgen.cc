@@ -1,0 +1,443 @@
+#include "bench/loadgen.h"
+
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <numeric>
+#include <utility>
+
+#include "core/streaming_problem.h"
+#include "engine/executor.h"
+#include "engine/rewriter.h"
+#include "engine/view_store.h"
+#include "ilp/problem_index.h"
+#include "plan/builder.h"
+#include "select/iterview.h"
+#include "subquery/clusterer.h"
+#include "util/random.h"
+#include "util/strings.h"
+#include "util/thread_pool.h"
+#include "workload/generator.h"
+
+namespace autoview {
+
+namespace {
+
+/// Parses one `--key=value` (or bare `--full`) flag into `config`.
+Status ParseFlag(const std::string& arg, LoadGenConfig* config) {
+  if (arg.rfind("--", 0) != 0) {
+    return Status::InvalidArgument("expected --key=value, got: " + arg);
+  }
+  const size_t eq = arg.find('=');
+  const std::string key = arg.substr(2, eq == std::string::npos
+                                            ? std::string::npos
+                                            : eq - 2);
+  const std::string value =
+      eq == std::string::npos ? "" : arg.substr(eq + 1);
+  auto parse_u64 = [&](uint64_t* out) {
+    char* end = nullptr;
+    *out = std::strtoull(value.c_str(), &end, 10);
+    return end != value.c_str() && *end == '\0'
+               ? Status::OK()
+               : Status::InvalidArgument("bad integer for --" + key + ": " +
+                                         value);
+  };
+  auto parse_double = [&](double* out) {
+    char* end = nullptr;
+    *out = std::strtod(value.c_str(), &end);
+    return end != value.c_str() && *end == '\0'
+               ? Status::OK()
+               : Status::InvalidArgument("bad number for --" + key + ": " +
+                                         value);
+  };
+
+  uint64_t u = 0;
+  if (key == "clients") {
+    AV_RETURN_NOT_OK(parse_u64(&u));
+    config->clients = static_cast<int>(u);
+  } else if (key == "warmup_s") {
+    AV_RETURN_NOT_OK(parse_double(&config->warmup_s));
+  } else if (key == "measure_s") {
+    AV_RETURN_NOT_OK(parse_double(&config->measure_s));
+  } else if (key == "seed") {
+    AV_RETURN_NOT_OK(parse_u64(&config->seed));
+  } else if (key == "workload") {
+    config->workload = value;
+  } else if (key == "scale") {
+    AV_RETURN_NOT_OK(parse_double(&config->scale));
+  } else if (key == "full") {
+    config->full = value.empty() || value == "true" || value == "1";
+  } else if (key == "max_requests") {
+    AV_RETURN_NOT_OK(parse_u64(&u));
+    config->max_requests = u;
+  } else if (key == "select_iterations") {
+    AV_RETURN_NOT_OK(parse_u64(&u));
+    config->select_iterations = u;
+  } else if (key == "select_timeout_s") {
+    AV_RETURN_NOT_OK(parse_double(&config->select_timeout_s));
+  } else if (key == "csv") {
+    config->csv_file = value;
+  } else if (key == "json") {
+    config->json_file = value;
+  } else {
+    return Status::InvalidArgument("unknown loadgen flag: --" + key);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<LoadGenConfig> ParseLoadGenArgs(const std::vector<std::string>& args) {
+  LoadGenConfig config;
+  for (const std::string& arg : args) {
+    AV_RETURN_NOT_OK(ParseFlag(arg, &config));
+  }
+  if (config.clients <= 0) {
+    return Status::InvalidArgument("--clients must be positive");
+  }
+  if (config.workload != "WK1" && config.workload != "WK2") {
+    return Status::InvalidArgument("--workload must be WK1 or WK2, got: " +
+                                   config.workload);
+  }
+  return config;
+}
+
+std::vector<std::string> ToArgs(const LoadGenConfig& config) {
+  std::vector<std::string> args;
+  args.push_back(StrFormat("--clients=%d", config.clients));
+  args.push_back(StrFormat("--warmup_s=%.17g", config.warmup_s));
+  args.push_back(StrFormat("--measure_s=%.17g", config.measure_s));
+  args.push_back(StrFormat("--seed=%llu",
+                           static_cast<unsigned long long>(config.seed)));
+  args.push_back("--workload=" + config.workload);
+  args.push_back(StrFormat("--scale=%.17g", config.scale));
+  args.push_back(StrFormat("--full=%s", config.full ? "true" : "false"));
+  args.push_back(StrFormat("--max_requests=%zu", config.max_requests));
+  args.push_back(
+      StrFormat("--select_iterations=%zu", config.select_iterations));
+  args.push_back(
+      StrFormat("--select_timeout_s=%.17g", config.select_timeout_s));
+  args.push_back("--csv=" + config.csv_file);
+  args.push_back("--json=" + config.json_file);
+  return args;
+}
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  if (p <= 0.0) return sorted.front();
+  // Nearest-rank: the smallest value with at least p% of samples <= it.
+  const double rank = std::ceil(p / 100.0 * static_cast<double>(sorted.size()));
+  const size_t index =
+      std::min(sorted.size() - 1,
+               static_cast<size_t>(std::max(1.0, rank)) - 1);
+  return sorted[index];
+}
+
+std::vector<std::vector<size_t>> BuildSchedule(uint64_t seed, int clients,
+                                               size_t per_client,
+                                               size_t num_queries) {
+  std::vector<std::vector<size_t>> schedule(
+      static_cast<size_t>(std::max(clients, 0)));
+  if (num_queries == 0) return schedule;
+  for (int c = 0; c < clients; ++c) {
+    Rng rng(Rng::StreamSeed(seed, static_cast<uint64_t>(c)));
+    auto& reqs = schedule[static_cast<size_t>(c)];
+    reqs.reserve(per_client);
+    for (size_t n = 0; n < per_client; ++n) {
+      reqs.push_back(static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(num_queries) - 1)));
+    }
+  }
+  return schedule;
+}
+
+size_t PeakRssBytes() {
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // ru_maxrss is kilobytes on Linux.
+  return static_cast<size_t>(usage.ru_maxrss) * 1024;
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsBetween(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+/// One client's serving loop: parse -> rewrite -> execute, recording
+/// per-request latency (ms) into `latencies` (owned by this client).
+/// In scheduled mode it runs its exact schedule; in timed mode it draws
+/// from its own Rng stream until `stop_at`, recording only requests that
+/// started after `record_from` (the warmup boundary).
+struct ClientTask {
+  const GeneratedWorkload* workload = nullptr;
+  const Rewriter* rewriter = nullptr;
+  const Executor* executor = nullptr;
+  const std::vector<const MaterializedView*>* views = nullptr;
+
+  std::vector<double> latencies;
+  size_t errors = 0;
+
+  void Serve(size_t query_index) {
+    const auto start = Clock::now();
+    PlanBuilder builder(&workload->db->catalog());
+    Result<PlanNodePtr> plan =
+        builder.BuildFromSql(workload->sql[query_index]);
+    if (!plan.ok()) {
+      ++errors;
+      return;
+    }
+    size_t substitutions = 0;
+    Result<PlanNodePtr> rewritten =
+        rewriter->RewriteAll(plan.value(), *views, &substitutions);
+    if (!rewritten.ok()) {
+      ++errors;
+      return;
+    }
+    Result<CostReport> cost = executor->ExecuteForCost(*rewritten.value());
+    if (!cost.ok()) {
+      ++errors;
+      return;
+    }
+    latencies.push_back(1e3 * SecondsBetween(start, Clock::now()));
+  }
+
+  void RunScheduled(const std::vector<size_t>& schedule) {
+    latencies.reserve(schedule.size());
+    for (size_t qi : schedule) Serve(qi);
+  }
+
+  void RunTimed(uint64_t client_seed, Clock::time_point record_from,
+                Clock::time_point stop_at) {
+    Rng rng(client_seed);
+    const size_t nq = workload->sql.size();
+    while (Clock::now() < stop_at) {
+      const size_t qi = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(nq) - 1));
+      const bool record = Clock::now() >= record_from;
+      const size_t before = latencies.size();
+      Serve(qi);
+      if (!record && latencies.size() > before) latencies.pop_back();
+    }
+  }
+};
+
+}  // namespace
+
+Result<LoadGenResult> RunLoadGen(const LoadGenConfig& config) {
+  LoadGenResult result;
+  result.workload = config.workload;
+  result.mode = config.full ? "full" : "scaled";
+  result.clients = config.clients;
+  result.seed = config.seed;
+
+  // 1. Generate the preset workload.
+  CloudWorkloadSpec spec;
+  if (config.workload == "WK1") {
+    spec = config.full ? Wk1FullSpec() : Wk1Spec(config.scale);
+  } else if (config.workload == "WK2") {
+    spec = config.full ? Wk2FullSpec() : Wk2Spec(config.scale);
+  } else {
+    return Status::InvalidArgument("unknown workload preset: " +
+                                   config.workload);
+  }
+  GeneratedWorkload workload = GenerateCloudWorkload(spec);
+  result.num_queries = workload.sql.size();
+  result.num_tables = workload.db->catalog().num_tables();
+  if (workload.sql.empty()) {
+    return Status::InvalidArgument("empty workload");
+  }
+
+  // 2. Cluster (streaming: plans stay transient) and build the
+  // compressed benefit matrix in bounded shards. query_fn re-parses on
+  // demand — the re-invocable contract of the streaming paths.
+  PlanBuilder plan_builder(&workload.db->catalog());
+  const auto query_fn = [&workload](size_t qi) -> PlanNodePtr {
+    PlanBuilder builder(&workload.db->catalog());
+    Result<PlanNodePtr> plan = builder.BuildFromSql(workload.sql[qi]);
+    return plan.ok() ? std::move(plan).value() : nullptr;
+  };
+  SubqueryClusterer clusterer;
+  WorkloadAnalysis analysis =
+      clusterer.AnalyzeStreaming(workload.sql.size(), query_fn);
+  result.num_candidates = analysis.candidates.size();
+
+  StreamingProblemOptions problem_options;
+  AV_ASSIGN_OR_RETURN(StreamingProblem problem,
+                      BuildStreamingProblem(workload.db->catalog(), analysis,
+                                            query_fn, problem_options));
+  result.csr_shards = problem.compact.rows.num_shards();
+  result.csr_bytes = problem.compact.rows.byte_size();
+
+  // 3. Deadline-bounded incremental selection straight off the shards.
+  const MvsProblemIndex index(problem.compact);
+  IterViewSelector::Options select_options;
+  select_options.iterations = config.select_iterations;
+  select_options.seed = config.seed;
+  if (config.select_timeout_s > 0) {
+    select_options.deadline =
+        Deadline::AfterMillis(1e3 * config.select_timeout_s);
+  }
+  IterViewSelector selector(select_options);
+  AV_ASSIGN_OR_RETURN(MvsSolution solution, selector.SelectIndexed(index));
+  result.select_utility = solution.utility;
+  result.select_timed_out = solution.timed_out;
+
+  // 4. Materialize the chosen views.
+  Executor executor(workload.db.get());
+  MaterializedViewStore store(workload.db.get());
+  std::vector<const MaterializedView*> selected;
+  for (size_t j = 0; j < solution.z.size(); ++j) {
+    if (!solution.z[j]) continue;
+    AV_ASSIGN_OR_RETURN(
+        const MaterializedView* view,
+        store.Materialize(problem.candidate_plans[j], executor));
+    selected.push_back(view);
+  }
+  result.num_selected = selected.size();
+
+  // 5. Serve: config.clients concurrent clients on the shared pool,
+  // each parsing/rewriting/executing its own request stream.
+  Rewriter rewriter(&workload.db->catalog());
+  const int clients = config.clients;
+  std::vector<ClientTask> tasks(static_cast<size_t>(clients));
+  for (auto& task : tasks) {
+    task.workload = &workload;
+    task.rewriter = &rewriter;
+    task.executor = &executor;
+    task.views = &selected;
+  }
+
+  ThreadPool& pool = DefaultPool();
+  Clock::time_point measure_start;
+  Clock::time_point measure_end;
+  if (config.max_requests > 0) {
+    const std::vector<std::vector<size_t>> schedule = BuildSchedule(
+        config.seed, clients, config.max_requests, workload.sql.size());
+    measure_start = Clock::now();
+    pool.ParallelFor(0, static_cast<size_t>(clients), [&](size_t c) {
+      tasks[c].RunScheduled(schedule[c]);
+    });
+    measure_end = Clock::now();
+  } else {
+    const auto start = Clock::now();
+    const auto record_from =
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(config.warmup_s));
+    const auto stop_at =
+        record_from + std::chrono::duration_cast<Clock::duration>(
+                          std::chrono::duration<double>(config.measure_s));
+    measure_start = record_from;
+    pool.ParallelFor(0, static_cast<size_t>(clients), [&](size_t c) {
+      tasks[c].RunTimed(Rng::StreamSeed(config.seed, c), record_from,
+                        stop_at);
+    });
+    measure_end = stop_at;
+  }
+
+  // 6. Aggregate.
+  std::vector<double> latencies;
+  for (const auto& task : tasks) {
+    latencies.insert(latencies.end(), task.latencies.begin(),
+                     task.latencies.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  result.requests = latencies.size();
+  result.elapsed_s = SecondsBetween(measure_start, measure_end);
+  result.qps = result.elapsed_s > 0
+                   ? static_cast<double>(result.requests) / result.elapsed_s
+                   : 0.0;
+  result.p50_ms = Percentile(latencies, 50);
+  result.p95_ms = Percentile(latencies, 95);
+  result.p99_ms = Percentile(latencies, 99);
+  result.mean_ms =
+      latencies.empty()
+          ? 0.0
+          : std::accumulate(latencies.begin(), latencies.end(), 0.0) /
+                static_cast<double>(latencies.size());
+  result.peak_rss_mb =
+      static_cast<double>(PeakRssBytes()) / (1024.0 * 1024.0);
+
+  if (!config.csv_file.empty()) {
+    AV_RETURN_NOT_OK(WriteTextFile(config.csv_file, ThroughputCsv({result})));
+  }
+  if (!config.json_file.empty()) {
+    AV_RETURN_NOT_OK(
+        WriteTextFile(config.json_file, ThroughputJson({result})));
+  }
+  return result;
+}
+
+namespace {
+
+std::string ResultJson(const LoadGenResult& r) {
+  return StrFormat(
+      "    {\"workload\": \"%s\", \"mode\": \"%s\", \"queries\": %zu, "
+      "\"tables\": %zu, \"candidates\": %zu, \"selected\": %zu, "
+      "\"clients\": %d, \"seed\": %llu, \"requests\": %zu, "
+      "\"elapsed_s\": %.3f, \"qps\": %.2f, \"p50_ms\": %.3f, "
+      "\"p95_ms\": %.3f, \"p99_ms\": %.3f, \"mean_ms\": %.3f, "
+      "\"csr_shards\": %zu, \"csr_bytes\": %zu, \"peak_rss_mb\": %.1f, "
+      "\"select_utility\": %.4f, \"select_timed_out\": %s}",
+      r.workload.c_str(), r.mode.c_str(), r.num_queries, r.num_tables,
+      r.num_candidates, r.num_selected, r.clients,
+      static_cast<unsigned long long>(r.seed), r.requests, r.elapsed_s,
+      r.qps, r.p50_ms, r.p95_ms, r.p99_ms, r.mean_ms, r.csr_shards,
+      r.csr_bytes, r.peak_rss_mb, r.select_utility,
+      r.select_timed_out ? "true" : "false");
+}
+
+}  // namespace
+
+std::string ThroughputJson(const std::vector<LoadGenResult>& results) {
+  std::string out = "{\n  \"benchmark\": \"autoview_throughput\",\n"
+                    "  \"results\": [\n";
+  for (size_t n = 0; n < results.size(); ++n) {
+    out += ResultJson(results[n]);
+    out += n + 1 < results.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+std::string ThroughputCsv(const std::vector<LoadGenResult>& results) {
+  std::string out =
+      "workload,mode,queries,tables,candidates,selected,clients,seed,"
+      "requests,elapsed_s,qps,p50_ms,p95_ms,p99_ms,mean_ms,csr_shards,"
+      "csr_bytes,peak_rss_mb,select_utility,select_timed_out\n";
+  for (const LoadGenResult& r : results) {
+    out += StrFormat(
+        "%s,%s,%zu,%zu,%zu,%zu,%d,%llu,%zu,%.3f,%.2f,%.3f,%.3f,%.3f,%.3f,"
+        "%zu,%zu,%.1f,%.4f,%d\n",
+        r.workload.c_str(), r.mode.c_str(), r.num_queries, r.num_tables,
+        r.num_candidates, r.num_selected, r.clients,
+        static_cast<unsigned long long>(r.seed), r.requests, r.elapsed_s,
+        r.qps, r.p50_ms, r.p95_ms, r.p99_ms, r.mean_ms, r.csr_shards,
+        r.csr_bytes, r.peak_rss_mb, r.select_utility,
+        r.select_timed_out ? 1 : 0);
+  }
+  return out;
+}
+
+Status WriteTextFile(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open for writing: " + path);
+  }
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != text.size() || close_rc != 0) {
+    return Status::Internal("short write: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace autoview

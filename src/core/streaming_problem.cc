@@ -1,0 +1,179 @@
+#include "core/streaming_problem.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "costmodel/traditional.h"
+#include "util/thread_pool.h"
+
+namespace autoview {
+
+namespace {
+
+/// Per-view estimated cost terms, computed once (the counterpart of
+/// CandidateInfo in the execution-based path).
+struct ViewEstimates {
+  double overhead = 0.0;       ///< storage fee + estimated build cost
+  double subquery_cost = 0.0;  ///< A(s), the estimated candidate cost
+  double scan_cost = 0.0;      ///< A(scan v)
+};
+
+/// The RealOpt benefit cell: B = A(q) - (max(0, A(q) - A(s)) + A(scan v)),
+/// matching the `exact_benefits == false` branch of BuildGroundTruth
+/// with estimated terms substituted for measured ones.
+double BenefitCell(double query_cost, const ViewEstimates& view) {
+  const double rewritten =
+      std::max(0.0, query_cost - view.subquery_cost) + view.scan_cost;
+  return query_cost - rewritten;
+}
+
+struct ViewSide {
+  std::vector<ViewEstimates> estimates;
+  std::vector<double> overhead;
+  std::vector<size_t> frequency;
+  std::vector<std::vector<uint32_t>> adjacency;
+  std::vector<PlanNodePtr> plans;
+  /// applicable[row] = ascending candidate ids usable by that row's
+  /// query (inverted from the clusters' query_indices).
+  std::vector<std::vector<uint32_t>> applicable;
+};
+
+/// Shared head of both builders: per-view estimates, adjacency from the
+/// analysis overlap table, and the row -> applicable-views inversion.
+ViewSide BuildViewSide(const Catalog& catalog,
+                       const WorkloadAnalysis& analysis,
+                       const StreamingProblemOptions& options) {
+  ViewSide side;
+  const size_t nz = analysis.candidates.size();
+  const TraditionalEstimator estimator(&catalog, options.pricing);
+  const CardinalityEstimator cardinality(&catalog);
+
+  side.estimates.resize(nz);
+  side.overhead.resize(nz);
+  side.frequency.resize(nz);
+  side.plans.reserve(nz);
+  for (size_t j = 0; j < nz; ++j) {
+    const SubqueryCluster& cluster =
+        analysis.clusters[analysis.candidates[j]];
+    side.plans.push_back(cluster.candidate);
+    ViewEstimates& est = side.estimates[j];
+    est.subquery_cost = estimator.EstimatePlanCost(*cluster.candidate);
+    est.scan_cost = estimator.EstimateViewScanCost(*cluster.candidate);
+    const double bytes = cardinality.EstimateBytes(*cluster.candidate);
+    est.overhead = options.pricing.StorageFee(static_cast<uint64_t>(bytes)) +
+                   est.subquery_cost;
+    side.overhead[j] = est.overhead;
+    side.frequency[j] = cluster.query_indices.size();
+  }
+
+  side.adjacency.resize(nz);
+  for (size_t j = 0; j < analysis.overlapping.size(); ++j) {
+    for (size_t k : analysis.overlapping[j]) {
+      side.adjacency[j].push_back(static_cast<uint32_t>(k));
+      side.adjacency[k].push_back(static_cast<uint32_t>(j));
+    }
+  }
+  for (auto& adj : side.adjacency) std::sort(adj.begin(), adj.end());
+
+  const auto& assoc = analysis.associated_queries;
+  side.applicable.resize(assoc.size());
+  // Inverted from the clusters instead of probing every (row, view)
+  // pair: O(applicable pairs x log |Q|). Ascending j outer loop keeps
+  // each row's view list ascending; every member query of a candidate
+  // cluster is associated by definition, so the lookup always hits.
+  for (size_t j = 0; j < nz; ++j) {
+    const SubqueryCluster& cluster =
+        analysis.clusters[analysis.candidates[j]];
+    for (size_t qi : cluster.query_indices) {
+      const auto it = std::lower_bound(assoc.begin(), assoc.end(), qi);
+      if (it != assoc.end() && *it == qi) {
+        side.applicable[it - assoc.begin()].push_back(
+            static_cast<uint32_t>(j));
+      }
+    }
+  }
+  return side;
+}
+
+}  // namespace
+
+Result<StreamingProblem> BuildStreamingProblem(
+    const Catalog& catalog, const WorkloadAnalysis& analysis,
+    const SubqueryClusterer::QueryFn& query_fn,
+    const StreamingProblemOptions& options) {
+  StreamingProblem result;
+  result.associated_queries = analysis.associated_queries;
+
+  ViewSide side = BuildViewSide(catalog, analysis, options);
+  result.candidate_plans = side.plans;
+
+  ShardedProblemBuilder builder(options.shard_budget_bytes);
+  builder.SetViews(std::move(side.overhead), std::move(side.adjacency),
+                   std::move(side.frequency));
+
+  const TraditionalEstimator estimator(&catalog, options.pricing);
+  ThreadPool& pool = options.pool ? *options.pool : DefaultPool();
+  const size_t nq = result.associated_queries.size();
+  const size_t chunk = std::max<size_t>(1, options.chunk);
+
+  // Chunked row estimation: each task owns one row buffer (plans are
+  // transient — query_fn's plan dies with the task); rows append to the
+  // builder sequentially in ascending order, the layout the compact
+  // index constructor requires.
+  std::vector<std::vector<CompressedRowStore::Entry>> rows;
+  for (size_t base = 0; base < nq; base += chunk) {
+    const size_t end = std::min(nq, base + chunk);
+    rows.assign(end - base, {});
+    pool.ParallelFor(base, end, [&](size_t row) {
+      PlanNodePtr plan = query_fn(result.associated_queries[row]);
+      if (plan == nullptr) return;
+      const double query_cost = estimator.EstimatePlanCost(*plan);
+      for (uint32_t j : side.applicable[row]) {
+        const double benefit = BenefitCell(query_cost, side.estimates[j]);
+        if (benefit != 0.0) {
+          rows[row - base].push_back(CompressedRowStore::Entry{j, benefit});
+        }
+      }
+    });
+    for (size_t row = base; row < end; ++row) {
+      builder.AddRow(rows[row - base]);
+    }
+  }
+
+  AV_ASSIGN_OR_RETURN(result.compact, std::move(builder).Finalize());
+  return result;
+}
+
+Result<MvsProblem> BuildDenseProblem(
+    const Catalog& catalog, const WorkloadAnalysis& analysis,
+    const SubqueryClusterer::QueryFn& query_fn,
+    const StreamingProblemOptions& options) {
+  ViewSide side = BuildViewSide(catalog, analysis, options);
+  const size_t nz = side.overhead.size();
+  const size_t nq = analysis.associated_queries.size();
+
+  MvsProblem problem;
+  problem.overhead = std::move(side.overhead);
+  problem.frequency = std::move(side.frequency);
+  problem.overlap.assign(nz, std::vector<bool>(nz, false));
+  for (size_t j = 0; j < nz; ++j) {
+    for (uint32_t k : side.adjacency[j]) problem.overlap[j][k] = true;
+  }
+  problem.benefit.assign(nq, std::vector<double>(nz, 0.0));
+
+  const TraditionalEstimator estimator(&catalog, options.pricing);
+  ThreadPool& pool = options.pool ? *options.pool : DefaultPool();
+  pool.ParallelFor(0, nq, [&](size_t row) {
+    PlanNodePtr plan = query_fn(analysis.associated_queries[row]);
+    if (plan == nullptr) return;
+    const double query_cost = estimator.EstimatePlanCost(*plan);
+    for (uint32_t j : side.applicable[row]) {
+      problem.benefit[row][j] = BenefitCell(query_cost, side.estimates[j]);
+    }
+  });
+
+  AV_RETURN_NOT_OK(problem.Validate());
+  return problem;
+}
+
+}  // namespace autoview

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "engine/cost.h"
+#include "ilp/compact_problem.h"
+#include "ilp/problem.h"
+#include "subquery/clusterer.h"
+#include "util/status.h"
+
+namespace autoview {
+
+class ThreadPool;
+
+/// \brief Options for the streaming benefit-matrix construction.
+struct StreamingProblemOptions {
+  Pricing pricing;
+  /// Queries whose plans are in flight at once while estimating benefit
+  /// rows; peak transient memory is O(chunk), not O(|Q|).
+  size_t chunk = 1024;
+  /// Byte budget per compressed-CSR shard (see CompressedRowStore).
+  size_t shard_budget_bytes = 1 << 20;
+  /// Executor for the per-chunk estimation; null => DefaultPool().
+  ThreadPool* pool = nullptr;
+};
+
+/// \brief A paper-scale MVS instance built without ever materializing
+/// the dense |Q| x |Z| matrix, plus the plan-level context a serving
+/// pipeline needs afterwards.
+struct StreamingProblem {
+  CompactMvsProblem compact;
+  /// Row i of `compact` describes workload query
+  /// `associated_queries[i]` (same row universe as the dense
+  /// AutoViewSystem path: queries that can use >= 1 candidate).
+  std::vector<size_t> associated_queries;
+  /// View j's candidate subquery plan (for materialization / rewrite).
+  std::vector<PlanNodePtr> candidate_plans;
+};
+
+/// Builds the MVS instance for `analysis` with estimated costs — the
+/// paper's RealOpt approximation A(q|v) ~= max(0, A(q) - A(s)) +
+/// A(scan v) with every term served by the TraditionalEstimator from
+/// catalog statistics, so nothing is executed (execution-based ground
+/// truth at 157.6k queries is off the table; the small-scale dense path
+/// in AutoViewSystem remains the oracle for that).
+///
+/// Streaming shape: per-view arrays are O(|Z|); query rows are estimated
+/// chunk-by-chunk (plans transient, each task owns its row slot) and
+/// appended to the ShardedProblemBuilder in ascending row order, exactly
+/// the layout MvsProblemIndex's compact constructor expects. The dense
+/// equivalent of the same instance is what BuildDenseProblem returns —
+/// the scale tests assert the two produce EXPECT_EQ-identical indexes.
+///
+/// `query_fn` must be re-invocable and thread-safe for distinct indices
+/// (the same contract as SubqueryClusterer::AnalyzeStreaming).
+Result<StreamingProblem> BuildStreamingProblem(
+    const Catalog& catalog, const WorkloadAnalysis& analysis,
+    const SubqueryClusterer::QueryFn& query_fn,
+    const StreamingProblemOptions& options);
+
+/// Dense oracle of BuildStreamingProblem: identical per-cell arithmetic,
+/// materialized as a plain MvsProblem. Only for verification sizes.
+Result<MvsProblem> BuildDenseProblem(const Catalog& catalog,
+                                     const WorkloadAnalysis& analysis,
+                                     const SubqueryClusterer::QueryFn& query_fn,
+                                     const StreamingProblemOptions& options);
+
+}  // namespace autoview

@@ -77,6 +77,20 @@ bool IsFeasible(const MvsProblem& problem, const std::vector<bool>& z,
   return true;
 }
 
+bool YOptSolver::Overlaps(size_t a, size_t b) const {
+  return problem_ != nullptr ? problem_->overlap[a][b]
+                             : index_->OverlapTest(a, b);
+}
+
+size_t YOptSolver::NumQueries() const {
+  return problem_ != nullptr ? problem_->num_queries()
+                             : index_->num_queries();
+}
+
+size_t YOptSolver::NumViews() const {
+  return problem_ != nullptr ? problem_->num_views() : index_->num_views();
+}
+
 void YOptSolver::Search(const std::vector<size_t>& views,
                         const std::vector<double>& weights, size_t pos,
                         double current, std::vector<bool>* taken, double* best,
@@ -96,7 +110,7 @@ void YOptSolver::Search(const std::vector<size_t>& views,
   // Branch: take views[pos] if compatible with the current selection.
   bool compatible = true;
   for (size_t p = 0; p < pos && compatible; ++p) {
-    if ((*taken)[p] && problem_->overlap[views[p]][views[pos]]) {
+    if ((*taken)[p] && Overlaps(views[p], views[pos])) {
       compatible = false;
     }
   }
@@ -111,8 +125,8 @@ void YOptSolver::Search(const std::vector<size_t>& views,
 
 std::vector<bool> YOptSolver::SolveQuery(size_t query_index,
                                          const std::vector<bool>& z) const {
-  const auto& benefits = problem_->benefit[query_index];
   std::vector<size_t> views;
+  std::vector<double> weights;  // parallel to views throughout
   bool presorted = false;
   if (index_ != nullptr) {
     const auto& sparse_row = index_->Row(query_index);
@@ -121,30 +135,51 @@ std::vector<bool> YOptSolver::SolveQuery(size_t query_index,
       // unique: filtering the precomputed order by z gives exactly what
       // sorting the z-filtered subset would.
       for (size_t p : index_->RowByBenefit(query_index)) {
-        if (z[sparse_row[p].index]) views.push_back(sparse_row[p].index);
+        if (z[sparse_row[p].index]) {
+          views.push_back(sparse_row[p].index);
+          weights.push_back(sparse_row[p].benefit);
+        }
       }
       presorted = true;
     } else {
       for (const MvsProblemIndex::Entry& e : sparse_row) {
-        if (z[e.index]) views.push_back(e.index);
+        if (z[e.index]) {
+          views.push_back(e.index);
+          weights.push_back(e.benefit);
+        }
       }
     }
   } else {
+    const auto& benefits = problem_->benefit[query_index];
     for (size_t j = 0; j < z.size(); ++j) {
-      if (z[j] && benefits[j] > 0) views.push_back(j);
+      if (z[j] && benefits[j] > 0) {
+        views.push_back(j);
+        weights.push_back(benefits[j]);
+      }
     }
   }
   std::vector<bool> row(z.size(), false);
   if (views.empty()) return row;
 
-  // Descending-benefit order tightens the bound early.
+  // Descending-benefit order tightens the bound early. Sorting a
+  // position permutation by weights performs the exact comparison
+  // sequence the historical sort of view ids by dense benefits did
+  // (same length, same outcomes at every probe), so the resulting
+  // order — ties included — is identical.
   if (!presorted) {
-    std::sort(views.begin(), views.end(),
-              [&](size_t a, size_t b) { return benefits[a] > benefits[b]; });
+    std::vector<size_t> order(views.size());
+    for (size_t p = 0; p < order.size(); ++p) order[p] = p;
+    std::sort(order.begin(), order.end(),
+              [&](size_t a, size_t b) { return weights[a] > weights[b]; });
+    std::vector<size_t> sorted_views(views.size());
+    std::vector<double> sorted_weights(views.size());
+    for (size_t p = 0; p < order.size(); ++p) {
+      sorted_views[p] = views[order[p]];
+      sorted_weights[p] = weights[order[p]];
+    }
+    views.swap(sorted_views);
+    weights.swap(sorted_weights);
   }
-  std::vector<double> weights;
-  weights.reserve(views.size());
-  for (size_t v : views) weights.push_back(benefits[v]);
 
   // Exact for small instances; greedy fallback above the cutoff keeps
   // the worst case polynomial (instances that large do not arise from
@@ -159,7 +194,7 @@ std::vector<bool> YOptSolver::SolveQuery(size_t query_index,
     for (size_t p = 0; p < views.size(); ++p) {
       bool compatible = true;
       for (size_t q = 0; q < p && compatible; ++q) {
-        if (best_taken[q] && problem_->overlap[views[q]][views[p]]) {
+        if (best_taken[q] && Overlaps(views[q], views[p])) {
           compatible = false;
         }
       }
@@ -174,16 +209,21 @@ std::vector<bool> YOptSolver::SolveQuery(size_t query_index,
 
 std::vector<std::vector<bool>> YOptSolver::SolveAll(
     const std::vector<bool>& z) const {
+  const size_t nq = NumQueries();
   std::vector<std::vector<bool>> y;
-  y.reserve(problem_->num_queries());
-  for (size_t i = 0; i < problem_->num_queries(); ++i) {
+  y.reserve(nq);
+  for (size_t i = 0; i < nq; ++i) {
     y.push_back(SolveQuery(i, z));
   }
   return y;
 }
 
 double YOptSolver::UtilityOf(const std::vector<bool>& z) const {
-  return EvaluateUtility(*problem_, z, SolveAll(z));
+  // Solver-produced y has its support inside the positive cells, the
+  // regime where the sparse evaluation is bit-identical to the dense one.
+  std::vector<std::vector<bool>> y = SolveAll(z);
+  return problem_ != nullptr ? EvaluateUtility(*problem_, z, y)
+                             : index_->EvaluateUtilitySparse(z, y);
 }
 
 }  // namespace autoview

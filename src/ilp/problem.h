@@ -72,6 +72,11 @@ class YOptSolver {
   explicit YOptSolver(const MvsProblem* problem) : problem_(problem) {}
   YOptSolver(const MvsProblem* problem, const MvsProblemIndex* index)
       : problem_(problem), index_(index) {}
+  /// Index-only mode: every read (benefits, overlap, overheads) is
+  /// served from the index, so no dense MvsProblem need exist. Produces
+  /// bit-identical answers to the dense-backed modes for the same
+  /// instance.
+  explicit YOptSolver(const MvsProblemIndex* index) : index_(index) {}
 
   /// Optimal y row for query `query_index` under `z`.
   std::vector<bool> SolveQuery(size_t query_index,
@@ -89,7 +94,11 @@ class YOptSolver {
               std::vector<bool>* taken, double* best,
               std::vector<bool>* best_taken) const;
 
-  const MvsProblem* problem_;
+  bool Overlaps(size_t a, size_t b) const;
+  size_t NumQueries() const;
+  size_t NumViews() const;
+
+  const MvsProblem* problem_ = nullptr;
   const MvsProblemIndex* index_ = nullptr;
 };
 

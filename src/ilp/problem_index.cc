@@ -5,16 +5,13 @@
 namespace autoview {
 
 MvsProblemIndex::MvsProblemIndex(const MvsProblem& problem)
-    : problem_(&problem) {
+    : overhead_(problem.overhead) {
   const size_t nq = problem.num_queries();
   const size_t nz = problem.num_views();
 
   rows_.resize(nq);
-  rows_by_benefit_.resize(nq);
-  row_has_ties_.assign(nq, false);
   columns_.resize(nz);
   adjacency_.resize(nz);
-  max_benefit_.assign(nz, 0.0);
 
   for (size_t i = 0; i < nq; ++i) {
     const auto& row = problem.benefit[i];
@@ -27,6 +24,54 @@ MvsProblemIndex::MvsProblemIndex(const MvsProblem& problem)
         ++num_positive_;
       }
     }
+  }
+  for (size_t j = 0; j < nz; ++j) {
+    for (size_t k = 0; k < nz; ++k) {
+      if (problem.overlap[j][k]) adjacency_[j].push_back(k);
+    }
+  }
+  BuildOrdersAndAggregates();
+}
+
+MvsProblemIndex::MvsProblemIndex(const CompactMvsProblem& compact)
+    : overhead_(compact.overhead) {
+  const size_t nq = compact.num_queries();
+  const size_t nz = compact.num_views();
+
+  rows_.resize(nq);
+  columns_.resize(nz);
+  adjacency_.resize(nz);
+
+  // Rows were appended in ascending query order with ascending view ids,
+  // so this walk pushes columns_[j] entries in ascending query order and
+  // rows_[i] entries in ascending view order — the exact structures the
+  // dense constructor builds.
+  for (size_t i = 0; i < nq; ++i) {
+    compact.rows.ForEachEntry(i, [&](size_t j, double benefit) {
+      columns_[j].push_back({i, benefit});
+      ++num_nonzero_;
+      if (benefit > 0) {
+        rows_[i].push_back({j, benefit});
+        ++num_positive_;
+      }
+    });
+  }
+  for (size_t j = 0; j < nz; ++j) {
+    adjacency_[j].assign(compact.overlap_adjacency[j].begin(),
+                         compact.overlap_adjacency[j].end());
+  }
+  BuildOrdersAndAggregates();
+}
+
+void MvsProblemIndex::BuildOrdersAndAggregates() {
+  const size_t nq = rows_.size();
+  const size_t nz = overhead_.size();
+
+  rows_by_benefit_.resize(nq);
+  row_has_ties_.assign(nq, false);
+  max_benefit_.assign(nz, 0.0);
+
+  for (size_t i = 0; i < nq; ++i) {
     // Benefit-descending exploration order, computed with the same
     // comparator Y-Opt's per-solve sort uses. Duplicate benefits make
     // an unstable subset sort order-ambiguous, so flag them; the solver
@@ -46,9 +91,6 @@ MvsProblemIndex::MvsProblemIndex(const MvsProblem& problem)
   }
 
   for (size_t j = 0; j < nz; ++j) {
-    for (size_t k = 0; k < nz; ++k) {
-      if (problem.overlap[j][k]) adjacency_[j].push_back(k);
-    }
     // Same ascending-query accumulation as MvsProblem::MaxBenefit.
     double total = 0.0;
     for (const Entry& e : columns_[j]) {
@@ -59,7 +101,7 @@ MvsProblemIndex::MvsProblemIndex(const MvsProblem& problem)
   // Same ascending-view accumulation as the naive per-iteration
   // aggregate loops (ComputeAggregates in iterview.cc).
   for (size_t j = 0; j < nz; ++j) {
-    total_overhead_ += problem.overhead[j];
+    total_overhead_ += overhead_[j];
     total_max_benefit_ += max_benefit_[j];
   }
 }
@@ -77,9 +119,8 @@ double MvsProblemIndex::EvaluateUtilitySparse(
       if (yi[e.index]) utility += e.benefit;
     }
   }
-  const auto& overhead = problem_->overhead;
-  for (size_t j = 0; j < overhead.size(); ++j) {
-    if (z[j]) utility -= overhead[j];
+  for (size_t j = 0; j < overhead_.size(); ++j) {
+    if (z[j]) utility -= overhead_[j];
   }
   return utility;
 }

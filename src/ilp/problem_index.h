@@ -1,19 +1,28 @@
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <vector>
 
+#include "ilp/compact_problem.h"
 #include "ilp/problem.h"
 
 namespace autoview {
 
-/// \brief Read-only sparse index over one MvsProblem, built once per
+/// \brief Read-only sparse index over one MVS instance, built once per
 /// Select() call and shared by every concurrent trial (const access
 /// only after construction).
 ///
-/// The dense problem arrays stay the source of truth; the index holds
-/// three sparse projections of them plus the per-view aggregates the
-/// solvers re-derived from scratch every iteration:
+/// The index is self-contained: it can be built either from a dense
+/// MvsProblem (the oracle path) or from a CompactMvsProblem whose rows
+/// arrive from the streaming/sharded builder — the dense |Q| x |Z|
+/// matrix need never exist. Both constructors produce bit-identical
+/// structures for the same underlying instance (asserted by the
+/// problem_index tests), because every array is accumulated in the same
+/// ascending order either way.
+///
+/// Contents: three sparse projections plus the per-view aggregates the
+/// solvers used to re-derive from scratch every iteration:
 ///
 ///  * CSR benefit rows: per query, the (view, B_ij) entries with
 ///    B_ij > 0, stored in ascending view order. Ascending order matters:
@@ -40,10 +49,13 @@ class MvsProblemIndex {
   };
 
   explicit MvsProblemIndex(const MvsProblem& problem);
+  /// Builds the identical index from compressed-CSR shards; no dense
+  /// matrix is ever touched. `compact` may be released afterwards — the
+  /// index owns copies of everything it needs.
+  explicit MvsProblemIndex(const CompactMvsProblem& compact);
 
-  const MvsProblem& problem() const { return *problem_; }
-  size_t num_queries() const { return problem_->num_queries(); }
-  size_t num_views() const { return problem_->num_views(); }
+  size_t num_queries() const { return rows_.size(); }
+  size_t num_views() const { return overhead_.size(); }
 
   /// Positive-benefit entries of query i, ascending view index.
   const std::vector<Entry>& Row(size_t i) const { return rows_[i]; }
@@ -65,6 +77,17 @@ class MvsProblemIndex {
   const std::vector<size_t>& Overlapping(size_t j) const {
     return adjacency_[j];
   }
+
+  /// Overlap flag x_jk via binary search of j's adjacency — the sparse
+  /// stand-in for `problem.overlap[j][k]`.
+  bool OverlapTest(size_t j, size_t k) const {
+    const std::vector<size_t>& adj = adjacency_[j];
+    return std::binary_search(adj.begin(), adj.end(), k);
+  }
+
+  /// O_j (the index keeps its own copy so compact-built instances do not
+  /// depend on a live problem object).
+  const std::vector<double>& Overhead() const { return overhead_; }
 
   /// B_max[j], bit-identical to MvsProblem::MaxBenefit(j).
   double MaxBenefit(size_t j) const { return max_benefit_[j]; }
@@ -96,7 +119,12 @@ class MvsProblemIndex {
                         const std::vector<std::vector<bool>>& y) const;
 
  private:
-  const MvsProblem* problem_;
+  /// Shared tail of both constructors: per-row benefit-descending orders
+  /// and tie flags, then the per-view aggregates. Requires rows_,
+  /// columns_, adjacency_, overhead_ to be fully populated.
+  void BuildOrdersAndAggregates();
+
+  std::vector<double> overhead_;
   std::vector<std::vector<Entry>> rows_;
   std::vector<std::vector<size_t>> rows_by_benefit_;
   std::vector<bool> row_has_ties_;

@@ -39,10 +39,11 @@ Aggregates ComputeAggregates(const MvsProblem& problem,
   return agg;
 }
 
-double FlipProbabilityWith(const MvsProblem& problem, const Aggregates& agg,
+double FlipProbabilityWith(const std::vector<double>& overhead,
+                           const Aggregates& agg,
                            const std::vector<double>& b_cur, size_t j,
                            const std::vector<bool>& z) {
-  const double o_j = std::max(problem.overhead[j], 1e-12);
+  const double o_j = std::max(overhead[j], 1e-12);
   double p_overhead, p_benefit;
   if (z[j]) {
     // Selected view: flip-prone when it is expensive relative to the
@@ -73,7 +74,7 @@ Aggregates ComputeAggregatesIndexed(const MvsProblemIndex& index,
                                     const std::vector<bool>& z) {
   Aggregates agg;
   const size_t nz = index.num_views();
-  const auto& overhead = index.problem().overhead;
+  const auto& overhead = index.Overhead();
   agg.max_benefit.resize(nz);
   agg.o_max = index.TotalOverhead();
   agg.b_max_total = index.TotalMaxBenefit();
@@ -93,10 +94,10 @@ void ZOptStepRecording(const MvsProblemIndex& index,
                        bool frozen, std::vector<bool>* z,
                        std::vector<size_t>* flipped) {
   const Aggregates agg = ComputeAggregatesIndexed(index, b_cur, *z);
-  const MvsProblem& problem = index.problem();
+  const std::vector<double>& overhead = index.Overhead();
   for (size_t j = 0; j < z->size(); ++j) {
     if (frozen && (*z)[j]) continue;  // BigSub: selected stays selected
-    if (FlipProbabilityWith(problem, agg, b_cur, j, *z) >= tau) {
+    if (FlipProbabilityWith(overhead, agg, b_cur, j, *z) >= tau) {
       (*z)[j] = !(*z)[j];
       flipped->push_back(j);
     }
@@ -108,8 +109,9 @@ void ZOptStepRecording(const MvsProblemIndex& index,
 double FlipProbability(const MvsProblem& problem,
                        const std::vector<double>& b_cur, size_t j,
                        const std::vector<bool>& z) {
-  return FlipProbabilityWith(problem, ComputeAggregates(problem, b_cur, z),
-                             b_cur, j, z);
+  return FlipProbabilityWith(problem.overhead,
+                             ComputeAggregates(problem, b_cur, z), b_cur, j,
+                             z);
 }
 
 void ZOptStep(const MvsProblem& problem, const std::vector<double>& b_cur,
@@ -117,7 +119,7 @@ void ZOptStep(const MvsProblem& problem, const std::vector<double>& b_cur,
   const Aggregates agg = ComputeAggregates(problem, b_cur, *z);
   for (size_t j = 0; j < z->size(); ++j) {
     if (frozen && (*z)[j]) continue;  // BigSub: selected stays selected
-    if (FlipProbabilityWith(problem, agg, b_cur, j, *z) >= tau) {
+    if (FlipProbabilityWith(problem.overhead, agg, b_cur, j, *z) >= tau) {
       (*z)[j] = !(*z)[j];
     }
   }
@@ -232,15 +234,14 @@ TrialResult RunTrial(const MvsProblem& problem,
 /// Sums are *recomputed sparsely in the naive summation order*, never
 /// float-delta-adjusted, which is what makes them bit-identical despite
 /// FP non-associativity (DESIGN.md §9).
-TrialResult RunTrialIncremental(const MvsProblem& problem,
-                                const MvsProblemIndex& index,
+TrialResult RunTrialIncremental(const MvsProblemIndex& index,
                                 const IterViewSelector::Options& options,
                                 uint64_t seed) {
   TrialResult trial;
   Rng rng(seed);
-  const size_t nz = problem.num_views();
-  const size_t nq = problem.num_queries();
-  YOptSolver yopt(&problem, &index);
+  const size_t nz = index.num_views();
+  const size_t nq = index.num_queries();
+  YOptSolver yopt(&index);
 
   // Random initialization of Z and Y (function IterView, lines 3-9),
   // drawing the exact Bernoulli sequence of the naive loop: that loop
@@ -268,7 +269,7 @@ TrialResult RunTrialIncremental(const MvsProblem& problem,
         }
       } else {
         for (size_t k : used) {
-          if (problem.overlap[e.index][k]) {
+          if (index.OverlapTest(e.index, k)) {
             conflict = true;
             break;
           }
@@ -359,38 +360,30 @@ TrialResult RunTrialIncremental(const MvsProblem& problem,
   return trial;
 }
 
-}  // namespace
-
-Result<MvsSolution> IterViewSelector::Select(const MvsProblem& problem) {
-  AV_RETURN_NOT_OK(problem.Validate());
-  trace_.clear();
-
-  // One index serves every trial: it is immutable after construction,
-  // so concurrent restarts share it without synchronization.
-  std::unique_ptr<MvsProblemIndex> index;
-  if (options_.engine == SelectionEngine::kIncremental) {
-    index = std::make_unique<MvsProblemIndex>(problem);
-  }
-
-  const size_t restarts = std::max<size_t>(1, options_.restarts);
+/// Runs `restarts` independent seeded trials of `run_trial(seed)` on the
+/// configured pool and reduces them deterministically (strict > keeps
+/// the lowest restart index on ties, regardless of which worker finished
+/// first). Shared by the dense and index-only entry points.
+template <typename TrialFn>
+MvsSolution RunRestartsAndReduce(const IterViewSelector::Options& options,
+                                 size_t nq, size_t nz, TrialFn&& run_trial,
+                                 std::vector<double>* trace_out) {
+  const size_t restarts = std::max<size_t>(1, options.restarts);
   std::vector<TrialResult> trials(restarts);
-  auto run_trial = [&](size_t r) {
+  auto run = [&](size_t r) {
     // Restart 0 keeps the raw seed so restarts == 1 reproduces the
     // historical single-trial stream exactly.
     const uint64_t seed =
-        r == 0 ? options_.seed : Rng::StreamSeed(options_.seed, r);
-    trials[r] = index ? RunTrialIncremental(problem, *index, options_, seed)
-                      : RunTrial(problem, options_, seed);
+        r == 0 ? options.seed : Rng::StreamSeed(options.seed, r);
+    trials[r] = run_trial(seed);
   };
   if (restarts == 1) {
-    run_trial(0);
+    run(0);
   } else {
-    ThreadPool& pool = options_.pool ? *options_.pool : DefaultPool();
-    pool.ParallelFor(0, restarts, run_trial);
+    ThreadPool& pool = options.pool ? *options.pool : DefaultPool();
+    pool.ParallelFor(0, restarts, run);
   }
 
-  // Deterministic reduction: strict > keeps the lowest restart index on
-  // ties, regardless of which worker finished first.
   size_t winner = 0;
   bool timed_out = trials[0].timed_out;
   for (size_t r = 1; r < restarts; ++r) {
@@ -399,7 +392,7 @@ Result<MvsSolution> IterViewSelector::Select(const MvsProblem& problem) {
       winner = r;
     }
   }
-  trace_ = std::move(trials[winner].trace);
+  *trace_out = std::move(trials[winner].trace);
   MvsSolution best = std::move(trials[winner].solution);
   best.timed_out = timed_out;
   if (timed_out) {
@@ -409,13 +402,42 @@ Result<MvsSolution> IterViewSelector::Select(const MvsProblem& problem) {
     // nothing. The empty configuration is always feasible with utility
     // 0, so never return less than that.
     if (best.utility < 0.0) {
-      best.z.assign(problem.num_views(), false);
-      best.y.assign(problem.num_queries(),
-                    std::vector<bool>(problem.num_views(), false));
+      best.z.assign(nz, false);
+      best.y.assign(nq, std::vector<bool>(nz, false));
       best.utility = 0.0;
-      trace_.push_back(best.utility);
+      trace_out->push_back(best.utility);
     }
   }
+  return best;
+}
+
+}  // namespace
+
+Result<MvsSolution> IterViewSelector::Select(const MvsProblem& problem) {
+  AV_RETURN_NOT_OK(problem.Validate());
+  if (options_.engine == SelectionEngine::kIncremental) {
+    // One index serves every trial: it is immutable after construction,
+    // so concurrent restarts share it without synchronization. Routing
+    // the dense entry point through SelectIndexed makes equivalence with
+    // the compact-built path structural rather than asserted.
+    const MvsProblemIndex index(problem);
+    return SelectIndexed(index);
+  }
+  trace_.clear();
+  MvsSolution best = RunRestartsAndReduce(
+      options_, problem.num_queries(), problem.num_views(),
+      [&](uint64_t seed) { return RunTrial(problem, options_, seed); },
+      &trace_);
+  return best;
+}
+
+Result<MvsSolution> IterViewSelector::SelectIndexed(
+    const MvsProblemIndex& index) {
+  trace_.clear();
+  MvsSolution best = RunRestartsAndReduce(
+      options_, index.num_queries(), index.num_views(),
+      [&](uint64_t seed) { return RunTrialIncremental(index, options_, seed); },
+      &trace_);
   return best;
 }
 

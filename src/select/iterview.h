@@ -6,6 +6,7 @@
 
 namespace autoview {
 
+class MvsProblemIndex;
 class ThreadPool;
 
 /// \brief The paper's IterView function (§V-A2): randomized iterative
@@ -66,6 +67,15 @@ class IterViewSelector : public ViewSelector {
   static IterViewSelector BigSub(size_t iterations, uint64_t seed = 42);
 
   Result<MvsSolution> Select(const MvsProblem& problem) override;
+
+  /// Index-only entry point for the sharded/streaming pipeline: runs the
+  /// incremental trials directly against a prebuilt MvsProblemIndex (no
+  /// dense MvsProblem required — the index may come from a
+  /// CompactMvsProblem). Select() with the kIncremental engine routes
+  /// through this method, so the two are bit-identical by construction.
+  /// Ignores Options::engine (this path is inherently incremental).
+  Result<MvsSolution> SelectIndexed(const MvsProblemIndex& index);
+
   std::string name() const override {
     return is_bigsub_ ? "BigSub" : "IterView";
   }

@@ -1,7 +1,9 @@
 #include "subquery/clusterer.h"
 
 #include <algorithm>
+#include <limits>
 #include <set>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "plan/canonical.h"
@@ -24,46 +26,169 @@ bool CanonicalPlansOverlap(const PlanNode& a, const PlanNode& b) {
   return false;
 }
 
+namespace {
+
+struct KeyedSubquery {
+  PlanNodePtr plan;
+  std::string key;
+};
+
+/// Exhaustive pairwise scan (the oracle): task j owns overlapping[j],
+/// scanning k > j in order, so the table is independent of scheduling.
+std::vector<std::vector<size_t>> ComputeOverlapsAllPairs(
+    const std::vector<PlanNodePtr>& plans, ThreadPool& pool) {
+  const size_t z = plans.size();
+  std::vector<std::vector<size_t>> overlapping(z);
+  pool.ParallelFor(0, z, [&](size_t j) {
+    for (size_t k = j + 1; k < z; ++k) {
+      if (CanonicalPlansOverlap(*plans[j], *plans[k])) {
+        overlapping[j].push_back(k);
+      }
+    }
+  });
+  return overlapping;
+}
+
+/// Signature pre-partition: a pair can overlap only if one plan's root
+/// hash appears among the other's subtree hashes (equal canonical keys
+/// always hash equal, so this never drops a true pair). Each row task
+/// gathers its hash-level candidates from two bucket maps — root-hash ->
+/// plans and subtree-hash -> plans — then confirms every hit with the
+/// exact string comparison, making the result bit-identical to the
+/// all-pairs scan. Peak memory is the signature index, O(total subtree
+/// count), and per-pair key rendering happens only on hash hits instead
+/// of all |Z|²/2 pairs.
+std::vector<std::vector<size_t>> ComputeOverlapsBucketed(
+    const std::vector<PlanNodePtr>& plans, ThreadPool& pool) {
+  const size_t z = plans.size();
+  std::vector<uint64_t> root_hash(z);
+  std::vector<std::vector<uint64_t>> subtree_hashes(z);
+  pool.ParallelFor(0, z, [&](size_t j) {
+    root_hash[j] = CanonicalHash(*plans[j]);
+    auto& hashes = subtree_hashes[j];
+    for (const auto& node : plans[j]->Subtrees()) {
+      hashes.push_back(CanonicalHash(*node));
+    }
+    std::sort(hashes.begin(), hashes.end());
+    hashes.erase(std::unique(hashes.begin(), hashes.end()), hashes.end());
+  });
+
+  // Bucket maps (sequential build => ascending plan ids per bucket).
+  std::unordered_map<uint64_t, std::vector<size_t>> by_root;
+  std::unordered_map<uint64_t, std::vector<size_t>> by_subtree;
+  for (size_t j = 0; j < z; ++j) by_root[root_hash[j]].push_back(j);
+  for (size_t j = 0; j < z; ++j) {
+    for (uint64_t h : subtree_hashes[j]) by_subtree[h].push_back(j);
+  }
+
+  std::vector<std::vector<size_t>> overlapping(z);
+  pool.ParallelFor(0, z, [&](size_t j) {
+    std::vector<size_t> maybe;
+    // k's root occurs among j's subtrees...
+    for (uint64_t h : subtree_hashes[j]) {
+      auto it = by_root.find(h);
+      if (it == by_root.end()) continue;
+      for (size_t k : it->second) {
+        if (k > j) maybe.push_back(k);
+      }
+    }
+    // ...or j's root occurs among k's subtrees.
+    auto it = by_subtree.find(root_hash[j]);
+    if (it != by_subtree.end()) {
+      for (size_t k : it->second) {
+        if (k > j) maybe.push_back(k);
+      }
+    }
+    std::sort(maybe.begin(), maybe.end());
+    maybe.erase(std::unique(maybe.begin(), maybe.end()), maybe.end());
+    for (size_t k : maybe) {
+      if (CanonicalPlansOverlap(*plans[j], *plans[k])) {
+        overlapping[j].push_back(k);
+      }
+    }
+  });
+  return overlapping;
+}
+
+std::vector<std::vector<size_t>> ComputeOverlaps(
+    const std::vector<PlanNodePtr>& plans,
+    SubqueryClusterer::OverlapAlgorithm algorithm, ThreadPool& pool) {
+  return algorithm == SubqueryClusterer::OverlapAlgorithm::kAllPairs
+             ? ComputeOverlapsAllPairs(plans, pool)
+             : ComputeOverlapsBucketed(plans, pool);
+}
+
+/// Derives candidates / associated queries / overlap table from the
+/// fully built clusters — the shared tail of both analysis paths.
+void FinishAnalysis(const SubqueryClusterer::Options& options,
+                    ThreadPool& pool, WorkloadAnalysis* analysis) {
+  for (size_t ci = 0; ci < analysis->clusters.size(); ++ci) {
+    if (analysis->clusters[ci].query_indices.size() >= options.min_sharing) {
+      analysis->candidates.push_back(ci);
+    }
+  }
+
+  std::set<size_t> associated;
+  for (size_t cand : analysis->candidates) {
+    for (size_t qi : analysis->clusters[cand].query_indices) {
+      associated.insert(qi);
+    }
+  }
+  analysis->associated_queries.assign(associated.begin(), associated.end());
+
+  std::vector<PlanNodePtr> candidate_plans;
+  candidate_plans.reserve(analysis->candidates.size());
+  for (size_t cand : analysis->candidates) {
+    candidate_plans.push_back(analysis->clusters[cand].candidate);
+  }
+  analysis->overlapping =
+      ComputeOverlaps(candidate_plans, options.overlap, pool);
+}
+
+}  // namespace
+
 WorkloadAnalysis SubqueryClusterer::Analyze(
     const std::vector<PlanNodePtr>& queries) const {
   WorkloadAnalysis analysis;
   analysis.num_queries = queries.size();
   ThreadPool& pool = options_.pool ? *options_.pool : DefaultPool();
 
-  // Parallel phase: per-query extraction + canonical-key computation
-  // (the expensive part — keys render whole subtrees). Each task owns
-  // its query's output slot.
+  // Extraction + canonical-key computation (the expensive part — keys
+  // render whole subtrees) runs parallel within chunks of at most
+  // extract_chunk queries; each task owns its query's output slot and
+  // chunks merge in query order, so the clustering is identical to a
+  // sequential pass while transient memory stays O(chunk).
   SubqueryExtractor extractor(options_.extractor);
-  struct KeyedSubquery {
-    PlanNodePtr plan;
-    std::string key;
-  };
-  std::vector<std::vector<KeyedSubquery>> per_query(queries.size());
-  pool.ParallelFor(0, queries.size(), [&](size_t qi) {
-    for (auto& sub : extractor.Extract(queries[qi])) {
-      std::string key = CanonicalKey(*sub);
-      per_query[qi].push_back({std::move(sub), std::move(key)});
-    }
-  });
-
-  // Sequential merge in query order, so cluster ids are identical to a
-  // single-threaded pass.
+  const size_t chunk = std::max<size_t>(1, options_.extract_chunk);
   std::map<std::string, size_t> key_to_cluster;
-  for (size_t qi = 0; qi < per_query.size(); ++qi) {
-    for (const auto& sub : per_query[qi]) {
-      ++analysis.num_subqueries;
-      auto [it, inserted] =
-          key_to_cluster.emplace(sub.key, analysis.clusters.size());
-      if (inserted) {
-        SubqueryCluster cluster;
-        cluster.canonical_key = sub.key;
-        analysis.clusters.push_back(std::move(cluster));
+  std::vector<std::vector<KeyedSubquery>> buffer;
+  for (size_t base = 0; base < queries.size(); base += chunk) {
+    const size_t end = std::min(queries.size(), base + chunk);
+    buffer.assign(end - base, {});
+    pool.ParallelFor(base, end, [&](size_t qi) {
+      for (auto& sub : extractor.Extract(queries[qi])) {
+        std::string key = CanonicalKey(*sub);
+        buffer[qi - base].push_back({std::move(sub), std::move(key)});
       }
-      analysis.clusters[it->second].occurrences.push_back({qi, sub.plan});
+    });
+
+    for (size_t qi = base; qi < end; ++qi) {
+      for (const auto& sub : buffer[qi - base]) {
+        ++analysis.num_subqueries;
+        auto [it, inserted] =
+            key_to_cluster.emplace(sub.key, analysis.clusters.size());
+        if (inserted) {
+          SubqueryCluster cluster;
+          cluster.canonical_key = sub.key;
+          analysis.clusters.push_back(std::move(cluster));
+        }
+        analysis.clusters[it->second].occurrences.push_back({qi, sub.plan});
+      }
     }
   }
 
   for (auto& cluster : analysis.clusters) {
+    cluster.occurrence_count = cluster.occurrences.size();
     analysis.num_equivalent_pairs += cluster.num_equivalent_pairs();
     // Distinct queries containing this cluster.
     std::set<size_t> qset;
@@ -85,36 +210,110 @@ WorkloadAnalysis SubqueryClusterer::Analyze(
     cluster.candidate = best->plan;
   }
 
-  // Candidate clusters: shared by >= min_sharing distinct queries.
-  for (size_t ci = 0; ci < analysis.clusters.size(); ++ci) {
-    if (analysis.clusters[ci].query_indices.size() >= options_.min_sharing) {
-      analysis.candidates.push_back(ci);
+  FinishAnalysis(options_, pool, &analysis);
+  return analysis;
+}
+
+WorkloadAnalysis SubqueryClusterer::AnalyzeStreaming(
+    size_t num_queries, const QueryFn& query_fn) const {
+  WorkloadAnalysis analysis;
+  analysis.num_queries = num_queries;
+  ThreadPool& pool = options_.pool ? *options_.pool : DefaultPool();
+  SubqueryExtractor extractor(options_.extractor);
+  const size_t chunk = std::max<size_t>(1, options_.extract_chunk);
+
+  // Pass 1: per-cluster aggregates only; plans live for one chunk.
+  // Clusters are numbered in first-appearance order over the same
+  // query-ordered merge Analyze() uses, and the argmin runs over the
+  // same occurrence sequence with the same strict-< tie-break, so for a
+  // pure cost oracle the chosen member is identical.
+  struct ClusterBuild {
+    size_t count = 0;
+    std::vector<size_t> query_indices;  // ascending by construction
+    double best_cost = std::numeric_limits<double>::infinity();
+    size_t best_query = 0;
+    size_t best_ordinal = 0;  // position in that query's extraction
+  };
+  std::map<std::string, size_t> key_to_cluster;
+  std::vector<ClusterBuild> builds;
+
+  std::vector<std::vector<KeyedSubquery>> buffer;
+  for (size_t base = 0; base < num_queries; base += chunk) {
+    const size_t end = std::min(num_queries, base + chunk);
+    buffer.assign(end - base, {});
+    pool.ParallelFor(base, end, [&](size_t qi) {
+      PlanNodePtr plan = query_fn(qi);
+      if (plan == nullptr) return;
+      for (auto& sub : extractor.Extract(plan)) {
+        std::string key = CanonicalKey(*sub);
+        buffer[qi - base].push_back({std::move(sub), std::move(key)});
+      }
+    });
+
+    for (size_t qi = base; qi < end; ++qi) {
+      const auto& subs = buffer[qi - base];
+      for (size_t ordinal = 0; ordinal < subs.size(); ++ordinal) {
+        const KeyedSubquery& sub = subs[ordinal];
+        ++analysis.num_subqueries;
+        auto [it, inserted] = key_to_cluster.emplace(sub.key, builds.size());
+        if (inserted) {
+          builds.emplace_back();
+          SubqueryCluster cluster;
+          cluster.canonical_key = sub.key;
+          analysis.clusters.push_back(std::move(cluster));
+        }
+        ClusterBuild& build = builds[it->second];
+        ++build.count;
+        if (build.query_indices.empty() || build.query_indices.back() != qi) {
+          build.query_indices.push_back(qi);
+        }
+        const double cost =
+            cost_fn_ ? cost_fn_(*sub.plan)
+                     : static_cast<double>(sub.plan->NumOperators());
+        if (cost < build.best_cost) {
+          build.best_cost = cost;
+          build.best_query = qi;
+          build.best_ordinal = ordinal;
+        }
+      }
     }
   }
 
-  // Associated queries: any query containing a candidate cluster.
-  std::set<size_t> associated;
-  for (size_t cand : analysis.candidates) {
-    for (size_t qi : analysis.clusters[cand].query_indices) {
-      associated.insert(qi);
+  for (size_t ci = 0; ci < builds.size(); ++ci) {
+    SubqueryCluster& cluster = analysis.clusters[ci];
+    cluster.occurrence_count = builds[ci].count;
+    cluster.query_indices = std::move(builds[ci].query_indices);
+    analysis.num_equivalent_pairs += cluster.num_equivalent_pairs();
+  }
+
+  // Pass 2: re-extract only the argmin queries to materialize candidate
+  // plans. Each task owns the clusters anchored at its query, so writes
+  // are disjoint.
+  std::unordered_map<size_t, std::vector<size_t>> clusters_of_query;
+  for (size_t ci = 0; ci < builds.size(); ++ci) {
+    if (builds[ci].count > 0) {
+      clusters_of_query[builds[ci].best_query].push_back(ci);
     }
   }
-  analysis.associated_queries.assign(associated.begin(), associated.end());
-
-  // Pairwise overlap between candidates (Definition 5), parallel over
-  // rows: task j scans k > j in order and owns overlapping[j], so the
-  // table is independent of scheduling.
-  const size_t z = analysis.candidates.size();
-  analysis.overlapping.assign(z, {});
-  pool.ParallelFor(0, z, [&](size_t j) {
-    const auto& pj = analysis.clusters[analysis.candidates[j]].candidate;
-    for (size_t k = j + 1; k < z; ++k) {
-      const auto& pk = analysis.clusters[analysis.candidates[k]].candidate;
-      if (CanonicalPlansOverlap(*pj, *pk)) {
-        analysis.overlapping[j].push_back(k);
+  std::vector<size_t> anchor_queries;
+  anchor_queries.reserve(clusters_of_query.size());
+  for (const auto& [qi, unused] : clusters_of_query) {
+    anchor_queries.push_back(qi);
+  }
+  std::sort(anchor_queries.begin(), anchor_queries.end());
+  pool.ParallelFor(0, anchor_queries.size(), [&](size_t t) {
+    const size_t qi = anchor_queries[t];
+    PlanNodePtr plan = query_fn(qi);
+    if (plan == nullptr) return;
+    std::vector<PlanNodePtr> subs = extractor.Extract(plan);
+    for (size_t ci : clusters_of_query.find(qi)->second) {
+      if (builds[ci].best_ordinal < subs.size()) {
+        analysis.clusters[ci].candidate = subs[builds[ci].best_ordinal];
       }
     }
   });
+
+  FinishAnalysis(options_, pool, &analysis);
   return analysis;
 }
 

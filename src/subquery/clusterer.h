@@ -20,17 +20,24 @@ struct SubqueryOccurrence {
 /// \brief A cluster of semantically equivalent subqueries (§III).
 struct SubqueryCluster {
   std::string canonical_key;
+  /// All members with their plans. Populated by Analyze(); the streaming
+  /// path leaves it empty (it never retains per-occurrence plans) and
+  /// records the count in `occurrence_count` instead.
   std::vector<SubqueryOccurrence> occurrences;
+  /// Member count; authoritative when `occurrences` is empty.
+  size_t occurrence_count = 0;
   /// The cluster member chosen as the candidate subquery (the one with
   /// the least overhead), per the paper's pre-process step.
   PlanNodePtr candidate;
-  /// Distinct queries containing a member of this cluster.
+  /// Distinct queries containing a member of this cluster, ascending.
   std::vector<size_t> query_indices;
 
-  size_t num_occurrences() const { return occurrences.size(); }
+  size_t num_occurrences() const {
+    return occurrences.empty() ? occurrence_count : occurrences.size();
+  }
   /// Equivalent pairs contributed by this cluster: C(n, 2).
   size_t num_equivalent_pairs() const {
-    const size_t n = occurrences.size();
+    const size_t n = num_occurrences();
     return n * (n - 1) / 2;
   }
 };
@@ -66,13 +73,31 @@ struct WorkloadAnalysis {
 /// comparison (see plan/canonical.h).
 ///
 /// The two expensive phases — per-query subquery extraction with
-/// canonical-key computation, and pairwise candidate-overlap detection —
-/// run across Options::pool. Both are deterministic under any thread
-/// count: extraction results are merged on the calling thread in query
-/// order (so cluster ids match a sequential run), and each overlap task
-/// owns exactly one row of the overlap table.
+/// canonical-key computation, and candidate-overlap detection — run
+/// across Options::pool. Both are deterministic under any thread count:
+/// extraction results are merged on the calling thread in query order
+/// (so cluster ids match a sequential run), and each overlap task owns
+/// exactly one row of the overlap table.
+///
+/// Memory bounds (DESIGN.md §10): extraction is chunked so at most
+/// `extract_chunk` queries' plans are in flight; overlap detection uses
+/// a canonical-hash signature pre-partition (kBucketed) whose working
+/// set is the signature index, O(total subtree count), instead of
+/// rendering canonical-key strings for all |Z|²/2 pairs. The exhaustive
+/// pairwise scan survives as the kAllPairs oracle; both algorithms
+/// produce bit-identical overlap tables (hash hits are verified with
+/// the exact string comparison, and equal keys always hash equal, so
+/// the prefilter has no false negatives).
 class SubqueryClusterer {
  public:
+  /// Candidate-overlap detection algorithm.
+  enum class OverlapAlgorithm {
+    /// Canonical-hash signature buckets + exact verification (default).
+    kBucketed,
+    /// The historical exhaustive pairwise scan (oracle for tests).
+    kAllPairs,
+  };
+
   struct Options {
     ExtractorOptions extractor;
     /// A cluster becomes a candidate when members appear in at least
@@ -80,11 +105,22 @@ class SubqueryClusterer {
     size_t min_sharing = 2;
     /// Executor for the parallel phases; null => DefaultPool().
     ThreadPool* pool = nullptr;
+    /// Overlap detection algorithm; results are identical either way.
+    OverlapAlgorithm overlap = OverlapAlgorithm::kBucketed;
+    /// Queries whose extracted plans may be in flight at once during
+    /// the extraction phase (peak transient memory is O(extract_chunk),
+    /// not O(|Q|)).
+    size_t extract_chunk = 1024;
   };
 
   /// Optional cost oracle used to pick each cluster's least-overhead
   /// member as the candidate; when absent the smallest plan wins.
   using CostFn = std::function<double(const PlanNode&)>;
+
+  /// Re-invocable plan source for the streaming path: returns query
+  /// `qi`'s plan (nullptr to skip). May be called more than once per
+  /// query and concurrently for distinct indices.
+  using QueryFn = std::function<PlanNodePtr(size_t)>;
 
   SubqueryClusterer() : options_() {}
   explicit SubqueryClusterer(Options options, CostFn cost_fn = nullptr)
@@ -92,6 +128,19 @@ class SubqueryClusterer {
 
   /// Runs extraction + equivalence clustering + overlap detection.
   WorkloadAnalysis Analyze(const std::vector<PlanNodePtr>& queries) const;
+
+  /// Memory-bounded two-pass variant for paper-scale workloads: pass 1
+  /// streams queries in chunks, keeping only per-cluster aggregates
+  /// (key, count, query indices, running argmin cost) while plans stay
+  /// transient; pass 2 re-invokes `query_fn` for just the argmin
+  /// queries to materialize each cluster's candidate plan. Peak memory
+  /// is O(extract_chunk + clusters), never O(all occurrence plans).
+  ///
+  /// Produces the same clusters (order, keys, counts, query indices,
+  /// candidates, overlap table) as Analyze() for a pure cost oracle —
+  /// occurrences themselves are not retained (see SubqueryCluster).
+  WorkloadAnalysis AnalyzeStreaming(size_t num_queries,
+                                    const QueryFn& query_fn) const;
 
  private:
   Options options_;

@@ -323,6 +323,25 @@ CloudWorkloadSpec Wk2Spec(double scale) {
   return spec;
 }
 
+CloudWorkloadSpec Wk1FullSpec() {
+  CloudWorkloadSpec spec = Wk1Spec();
+  spec.projects = 97;       // 388 tables ~ the paper's 389
+  spec.queries = 38600;
+  spec.subquery_pool = 10;  // per project, as at bench scale
+  spec.min_rows = 300;      // modest base tables: scale lives in |Q|/|T|
+  spec.max_rows = 1200;
+  return spec;
+}
+
+CloudWorkloadSpec Wk2FullSpec() {
+  CloudWorkloadSpec spec = Wk2Spec();
+  spec.projects = 109;      // 436 tables ~ the paper's 435
+  spec.queries = 157600;
+  spec.min_rows = 300;
+  spec.max_rows = 1200;
+  return spec;
+}
+
 // ---------------------------------------------------------------------------
 // JOB-like workload (IMDB substitution)
 // ---------------------------------------------------------------------------

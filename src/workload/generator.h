@@ -66,4 +66,14 @@ GeneratedWorkload GenerateJobWorkload(const JobWorkloadSpec& spec);
 CloudWorkloadSpec Wk1Spec(double scale = 1.0);
 CloudWorkloadSpec Wk2Spec(double scale = 1.0);
 
+/// Full paper-scale presets (Table I): WK1 = 38.6k queries over 389
+/// tables, WK2 = 157.6k queries over 435 tables. Query and table counts
+/// match the paper (tables to within the 4-per-project rounding:
+/// 97 x 4 = 388 and 109 x 4 = 436); per-table row counts are kept small
+/// — the paper's raw data is proprietary, and the scale claims under
+/// test are the query/table counts flowing through clustering, matrix
+/// construction, and selection, not base-table volume.
+CloudWorkloadSpec Wk1FullSpec();
+CloudWorkloadSpec Wk2FullSpec();
+
 }  // namespace autoview

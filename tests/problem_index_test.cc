@@ -11,9 +11,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 #include "generators.h"
+#include "ilp/compact_problem.h"
 #include "ilp/problem.h"
 #include "select/iterview.h"
 #include "select/rlview.h"
@@ -361,6 +363,145 @@ TEST(IncrementalEquivalenceTest, RewardCostDropsFromDenseToSparse) {
   EXPECT_EQ(incremental.utility_cells %
                 static_cast<uint64_t>(index.NumPositive()),
             0u);
+}
+
+// ---------------------------------------------------------------------
+// Compressed-CSR shards: exact decode and compact-vs-dense index
+// identity. The varint/delta encoding must round-trip every row bit-
+// exactly (benefits are raw IEEE-754 bytes), and an index built from
+// shards must equal the dense-built index field for field.
+
+TEST(CompressedRowStoreTest, RoundTripsRowsExactly) {
+  for (const size_t budget : {1u, 64u, 1u << 20}) {
+    CompressedRowStore store(budget);
+    const std::vector<std::vector<CompressedRowStore::Entry>> rows = {
+        {},
+        {{0, 1.5}},
+        {{3, -2.25}, {4, 1e-300}, {200, 3.141592653589793}},
+        {},
+        {{7, -0.0}, {1000000, 42.0}},
+    };
+    for (const auto& row : rows) store.AppendRow(row);
+    ASSERT_EQ(store.num_rows(), rows.size());
+    EXPECT_EQ(store.num_entries(), 6u);
+    std::vector<CompressedRowStore::Entry> decoded;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      store.DecodeRow(i, &decoded);
+      ASSERT_EQ(decoded.size(), rows[i].size()) << "row " << i;
+      for (size_t n = 0; n < rows[i].size(); ++n) {
+        EXPECT_EQ(decoded[n].index, rows[i][n].index);
+        // Bit-exact including -0.0 and denormal-range values.
+        EXPECT_EQ(std::signbit(decoded[n].benefit),
+                  std::signbit(rows[i][n].benefit));
+        EXPECT_EQ(decoded[n].benefit, rows[i][n].benefit);
+      }
+    }
+    // A 1-byte budget forces one shard per row; a big budget packs all.
+    if (budget == 1) {
+      EXPECT_GE(store.num_shards(), 3u);
+    }
+  }
+}
+
+TEST(CompressedRowStoreTest, ForEachEntryMatchesDecodeRow) {
+  const MvsProblem p = RandomSparseProblem(30, 80, /*seed=*/21, 0.1, 0.3);
+  const auto compact = CompactMvsProblem::FromDense(p, /*budget=*/128);
+  std::vector<CompressedRowStore::Entry> decoded;
+  for (size_t i = 0; i < p.num_queries(); ++i) {
+    compact.rows.DecodeRow(i, &decoded);
+    size_t n = 0;
+    compact.rows.ForEachEntry(i, [&](size_t view, double benefit) {
+      ASSERT_LT(n, decoded.size());
+      EXPECT_EQ(view, decoded[n].index);
+      EXPECT_EQ(benefit, decoded[n].benefit);
+      ++n;
+    });
+    EXPECT_EQ(n, decoded.size());
+    // And the decoded row is exactly the nonzero cells of the dense row.
+    size_t nonzero = 0;
+    for (size_t j = 0; j < p.num_views(); ++j) {
+      if (p.benefit[i][j] == 0.0) continue;
+      ASSERT_LT(nonzero, decoded.size());
+      EXPECT_EQ(decoded[nonzero].index, j);
+      EXPECT_EQ(decoded[nonzero].benefit, p.benefit[i][j]);
+      ++nonzero;
+    }
+    EXPECT_EQ(nonzero, decoded.size());
+  }
+}
+
+TEST(CompactProblemTest, IndexFromShardsEqualsIndexFromDense) {
+  for (const uint64_t seed : {3u, 17u, 91u}) {
+    for (const size_t budget : {32u, 1u << 20}) {
+      const MvsProblem p =
+          RandomSparseProblem(45, 130, seed, 0.07, /*negative=*/0.25);
+      const auto compact = CompactMvsProblem::FromDense(p, budget);
+      ASSERT_TRUE(compact.Validate().ok());
+
+      const MvsProblemIndex dense(p);
+      const MvsProblemIndex sparse(compact);
+      ASSERT_EQ(dense.num_queries(), sparse.num_queries());
+      ASSERT_EQ(dense.num_views(), sparse.num_views());
+      for (size_t i = 0; i < dense.num_queries(); ++i) {
+        ASSERT_EQ(dense.Row(i).size(), sparse.Row(i).size());
+        for (size_t n = 0; n < dense.Row(i).size(); ++n) {
+          EXPECT_EQ(dense.Row(i)[n].index, sparse.Row(i)[n].index);
+          EXPECT_EQ(dense.Row(i)[n].benefit, sparse.Row(i)[n].benefit);
+        }
+        EXPECT_EQ(dense.RowByBenefit(i), sparse.RowByBenefit(i));
+        EXPECT_EQ(dense.RowHasTies(i), sparse.RowHasTies(i));
+      }
+      for (size_t j = 0; j < dense.num_views(); ++j) {
+        ASSERT_EQ(dense.Column(j).size(), sparse.Column(j).size());
+        for (size_t n = 0; n < dense.Column(j).size(); ++n) {
+          EXPECT_EQ(dense.Column(j)[n].index, sparse.Column(j)[n].index);
+          EXPECT_EQ(dense.Column(j)[n].benefit, sparse.Column(j)[n].benefit);
+        }
+        EXPECT_EQ(dense.Overlapping(j), sparse.Overlapping(j));
+        EXPECT_EQ(dense.MaxBenefit(j), sparse.MaxBenefit(j));
+      }
+      EXPECT_EQ(dense.Overhead(), sparse.Overhead());
+      EXPECT_EQ(dense.TotalOverhead(), sparse.TotalOverhead());
+      EXPECT_EQ(dense.TotalMaxBenefit(), sparse.TotalMaxBenefit());
+      EXPECT_EQ(dense.NumNonzero(), sparse.NumNonzero());
+      EXPECT_EQ(dense.NumPositive(), sparse.NumPositive());
+    }
+  }
+}
+
+TEST(CompactProblemTest, SelectIndexedFromShardsMatchesDenseSelect) {
+  for (const uint64_t seed : {5u, 23u}) {
+    const MvsProblem p = RandomSparseProblem(35, 90, seed, 0.08, 0.2);
+    const auto compact = CompactMvsProblem::FromDense(p, /*budget=*/64);
+    const MvsProblemIndex index(compact);
+
+    IterViewSelector::Options options;
+    options.iterations = 80;
+    options.seed = seed;
+    for (const size_t restarts : {1u, 3u}) {
+      options.restarts = restarts;
+      IterViewSelector selector(options);
+      const auto sharded = selector.SelectIndexed(index);
+      ASSERT_TRUE(sharded.ok());
+
+      IterViewSelector::Options naive = options;
+      naive.engine = SelectionEngine::kNaive;
+      const auto dense = IterViewSelector(naive).Select(p);
+      ASSERT_TRUE(dense.ok());
+
+      EXPECT_EQ(sharded.value().z, dense.value().z);
+      EXPECT_EQ(sharded.value().y, dense.value().y);
+      EXPECT_EQ(sharded.value().utility, dense.value().utility);
+    }
+  }
+}
+
+TEST(CompactProblemTest, BuilderValidatesAdjacency) {
+  ShardedProblemBuilder builder(/*budget=*/256);
+  // Asymmetric adjacency must be rejected at Finalize.
+  builder.SetViews({1.0, 2.0}, {{1}, {}});
+  builder.AddRow({{0, 1.0}});
+  EXPECT_FALSE(std::move(builder).Finalize().ok());
 }
 
 }  // namespace

@@ -3,9 +3,12 @@
 #include "catalog/catalog.h"
 #include "engine/database.h"
 #include "plan/builder.h"
+#include "plan/canonical.h"
 #include "subquery/clusterer.h"
 #include "subquery/extractor.h"
 #include "subquery/verify.h"
+#include "util/thread_pool.h"
+#include "workload/generator.h"
 
 namespace autoview {
 namespace {
@@ -213,6 +216,103 @@ TEST_F(SubqueryTest, EmptyWorkload) {
   EXPECT_EQ(analysis.num_queries, 0u);
   EXPECT_EQ(analysis.num_subqueries, 0u);
   EXPECT_TRUE(analysis.candidates.empty());
+}
+
+// ---------------------------------------------------------------------
+// Memory-bounded clustering: the bucketed overlap prefilter and the
+// streaming two-pass analysis must be *bit-identical* to the historical
+// all-pairs / batch paths — the contract DESIGN.md §10 pins.
+
+std::vector<PlanNodePtr> BuildWorkloadPlans(const GeneratedWorkload& w) {
+  std::vector<PlanNodePtr> plans;
+  plans.reserve(w.sql.size());
+  PlanBuilder builder(&w.db->catalog());
+  for (const auto& sql : w.sql) {
+    auto r = builder.BuildFromSql(sql);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    plans.push_back(r.ok() ? r.value() : nullptr);
+  }
+  return plans;
+}
+
+/// Everything except per-occurrence plans must agree; candidate plans
+/// are compared by canonical key (the streaming path re-extracts its
+/// anchor occurrence, so pointer identity is not expected).
+void ExpectAnalysesEquivalent(const WorkloadAnalysis& a,
+                              const WorkloadAnalysis& b) {
+  EXPECT_EQ(a.num_queries, b.num_queries);
+  EXPECT_EQ(a.num_subqueries, b.num_subqueries);
+  EXPECT_EQ(a.num_equivalent_pairs, b.num_equivalent_pairs);
+  ASSERT_EQ(a.clusters.size(), b.clusters.size());
+  for (size_t c = 0; c < a.clusters.size(); ++c) {
+    EXPECT_EQ(a.clusters[c].canonical_key, b.clusters[c].canonical_key);
+    EXPECT_EQ(a.clusters[c].num_occurrences(),
+              b.clusters[c].num_occurrences());
+    EXPECT_EQ(a.clusters[c].query_indices, b.clusters[c].query_indices);
+    ASSERT_NE(a.clusters[c].candidate, nullptr);
+    ASSERT_NE(b.clusters[c].candidate, nullptr);
+    EXPECT_EQ(CanonicalKey(*a.clusters[c].candidate),
+              CanonicalKey(*b.clusters[c].candidate));
+  }
+  EXPECT_EQ(a.candidates, b.candidates);
+  EXPECT_EQ(a.associated_queries, b.associated_queries);
+  EXPECT_EQ(a.overlapping, b.overlapping);
+}
+
+TEST(ClustererScaleTest, BucketedOverlapMatchesAllPairs) {
+  for (const uint64_t seed : {11u, 12u}) {
+    CloudWorkloadSpec spec = Wk1Spec(0.6);
+    spec.seed = seed;
+    const GeneratedWorkload workload = GenerateCloudWorkload(spec);
+    const auto plans = BuildWorkloadPlans(workload);
+
+    SubqueryClusterer::Options bucketed;
+    bucketed.overlap = SubqueryClusterer::OverlapAlgorithm::kBucketed;
+    SubqueryClusterer::Options all_pairs;
+    all_pairs.overlap = SubqueryClusterer::OverlapAlgorithm::kAllPairs;
+
+    const auto a = SubqueryClusterer(bucketed).Analyze(plans);
+    const auto b = SubqueryClusterer(all_pairs).Analyze(plans);
+    EXPECT_GT(a.num_overlapping_pairs(), 0u);
+    EXPECT_EQ(a.overlapping, b.overlapping);
+    ExpectAnalysesEquivalent(a, b);
+  }
+}
+
+TEST(ClustererScaleTest, StreamingMatchesBatchAcrossChunksAndThreads) {
+  const GeneratedWorkload workload = GenerateCloudWorkload(Wk2Spec(0.5));
+  const auto plans = BuildWorkloadPlans(workload);
+  const auto query_fn = [&plans](size_t qi) { return plans[qi]; };
+
+  const WorkloadAnalysis batch = SubqueryClusterer().Analyze(plans);
+
+  for (const size_t chunk : {1u, 7u, 1024u}) {
+    for (const size_t threads : {1u, 4u}) {
+      ThreadPool pool(threads);
+      SubqueryClusterer::Options opts;
+      opts.extract_chunk = chunk;
+      opts.pool = &pool;
+      const WorkloadAnalysis streaming =
+          SubqueryClusterer(opts).AnalyzeStreaming(plans.size(), query_fn);
+      ExpectAnalysesEquivalent(batch, streaming);
+      // The streaming path never retains member plans.
+      for (const auto& cluster : streaming.clusters) {
+        EXPECT_TRUE(cluster.occurrences.empty());
+      }
+    }
+  }
+}
+
+TEST(ClustererScaleTest, BatchChunkSizeDoesNotChangeResults) {
+  const GeneratedWorkload workload = GenerateCloudWorkload(Wk1Spec(0.4));
+  const auto plans = BuildWorkloadPlans(workload);
+  const WorkloadAnalysis base = SubqueryClusterer().Analyze(plans);
+  for (const size_t chunk : {1u, 3u, 50u}) {
+    SubqueryClusterer::Options opts;
+    opts.extract_chunk = chunk;
+    const WorkloadAnalysis chunked = SubqueryClusterer(opts).Analyze(plans);
+    ExpectAnalysesEquivalent(base, chunked);
+  }
 }
 
 }  // namespace
