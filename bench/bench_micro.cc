@@ -29,23 +29,21 @@ constexpr const char* kFig2Sql =
     "where type = 1 and dt = '1010') t2 "
     "on t1.user_id = t2.user_id group by t1.user_id";
 
-Catalog MakeFig2Catalog() {
-  Catalog catalog;
+void FillFig2Catalog(Catalog* catalog) {
   AV_CHECK(catalog
-               .AddTable(TableSchema("user_memo",
+               ->AddTable(TableSchema("user_memo",
                                      {{"user_id", ColumnType::kInt64},
                                       {"memo", ColumnType::kString},
                                       {"dt", ColumnType::kString},
                                       {"memo_type", ColumnType::kString}}))
                .ok());
   AV_CHECK(catalog
-               .AddTable(TableSchema("user_action",
+               ->AddTable(TableSchema("user_action",
                                      {{"user_id", ColumnType::kInt64},
                                       {"action", ColumnType::kString},
                                       {"type", ColumnType::kInt64},
                                       {"dt", ColumnType::kString}}))
                .ok());
-  return catalog;
 }
 
 void BM_ParseSql(benchmark::State& state) {
@@ -57,7 +55,8 @@ void BM_ParseSql(benchmark::State& state) {
 BENCHMARK(BM_ParseSql);
 
 void BM_BuildPlan(benchmark::State& state) {
-  Catalog catalog = MakeFig2Catalog();
+  Catalog catalog;
+  FillFig2Catalog(&catalog);
   PlanBuilder builder(&catalog);
   for (auto _ : state) {
     auto plan = builder.BuildFromSql(kFig2Sql);
@@ -67,7 +66,8 @@ void BM_BuildPlan(benchmark::State& state) {
 BENCHMARK(BM_BuildPlan);
 
 void BM_PlanHash(benchmark::State& state) {
-  Catalog catalog = MakeFig2Catalog();
+  Catalog catalog;
+  FillFig2Catalog(&catalog);
   PlanBuilder builder(&catalog);
   auto plan = builder.BuildFromSql(kFig2Sql).value();
   for (auto _ : state) {

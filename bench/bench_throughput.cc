@@ -33,11 +33,18 @@ int Run(int argc, char** argv) {
   struct Row {
     const char* workload;
     bool full;
+    uint64_t view_budget_bytes;  // 0 = unlimited store
   };
-  std::vector<Row> rows = {{"WK1", false}, {"WK2", false}};
+  // The third row reruns WK1 under a deliberately tight view-store
+  // budget — about half the ~110 KB the unlimited WK1-scaled store
+  // occupies — showing the utility-per-byte eviction path end to end
+  // (store bytes stay <= budget, evicted views degrade to base-table
+  // serving, zero failed requests).
+  std::vector<Row> rows = {
+      {"WK1", false, 0}, {"WK2", false, 0}, {"WK1", false, 48 * 1024}};
   if (full_too) {
-    rows.push_back({"WK1", true});
-    rows.push_back({"WK2", true});
+    rows.push_back({"WK1", true, 0});
+    rows.push_back({"WK2", true, 0});
   }
 
   std::vector<LoadGenResult> results;
@@ -45,6 +52,11 @@ int Run(int argc, char** argv) {
     std::vector<std::string> args = flags;
     args.push_back(StrFormat("--workload=%s", row.workload));
     args.push_back(StrFormat("--full=%s", row.full ? "true" : "false"));
+    if (row.view_budget_bytes > 0) {
+      args.push_back(StrFormat(
+          "--view_budget_bytes=%llu",
+          static_cast<unsigned long long>(row.view_budget_bytes)));
+    }
     Result<LoadGenConfig> config = ParseLoadGenArgs(args);
     if (!config.ok()) {
       std::fprintf(stderr, "bad flags: %s\n",

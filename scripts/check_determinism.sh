@@ -32,6 +32,12 @@
 #                           of an AV_GUARDED_BY / AV_REQUIRES /
 #                           AV_ACQUIRE user, so the guarded-state map
 #                           stays readable at the declaration site
+#   engine-io-confined      raw FILE I/O (fopen/fwrite/fread/rename/
+#                           remove) inside src/engine/ is confined to
+#                           view_store_log.cc — the WAL is the one
+#                           place the engine touches disk, so crash
+#                           injection (viewstore.wal_append/wal_replay)
+#                           provably covers every engine write path
 #
 # Exit: 0 clean, 1 violations (never skips — needs only POSIX sh).
 set -u
@@ -85,6 +91,25 @@ for f in $(av_src_files); do
         grep -vE 'Rng[[:space:]]+[A-Za-z_]+\([^)]*[Ss]eed') || continue
   while IFS= read -r line; do
     av_fail "$rel" "${line%%:*}" "${line#*:}" 'loadgen-seed-flow'
+  done <<EOF
+$out
+EOF
+done
+
+# Engine disk I/O stays behind the WAL: any raw stdio call in
+# src/engine/ outside view_store_log.cc would dodge the failpoint
+# coverage the crash-recovery tests rely on.
+for f in $(av_src_files); do
+  rel=${f#"$av_root"/}
+  case "$rel" in
+    src/engine/view_store_log.cc) continue ;;
+    src/engine/*) ;;
+    *) continue ;;
+  esac
+  out=$(av_strip_comments "$f" |
+        grep -nE '(^|[^_[:alnum:]])(std::)?(fopen|fwrite|fread|fprintf|rename|remove)[[:space:]]*\(') || continue
+  while IFS= read -r line; do
+    av_fail "$rel" "${line%%:*}" "${line#*:}" 'engine-io-confined'
   done <<EOF
 $out
 EOF

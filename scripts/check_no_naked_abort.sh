@@ -2,7 +2,9 @@
 # Lints the library for naked process-killing calls. Library code must
 # report failures through Status/Result so a malformed query, corrupt
 # model file, or injected fault degrades one operation instead of taking
-# the whole process down. The single sanctioned abort lives in
+# the whole process down. std::terminate is in the banned set too: an
+# escaped exception on a pool thread must surface as a Status, not kill
+# the server mid-recovery. The single sanctioned abort lives in
 # util/logging.h behind AV_CHECK (fatal invariant violations only).
 #
 # Built on scripts/lint_common.sh; exit 0 pass, 1 violations.
@@ -11,7 +13,7 @@ set -u
 . "$(dirname "$0")/lint_common.sh"
 
 av_grep_rule \
-  '(^|[^_[:alnum:]])(std::)?(abort|exit|_Exit|quick_exit)[[:space:]]*\(' \
+  '(^|[^_[:alnum:]])(std::)?(abort|exit|_Exit|quick_exit|terminate)[[:space:]]*\(' \
   'no-naked-abort' \
   'use Status/Result (util/status.h); AV_CHECK is reserved for unrecoverable invariant violations' \
   '^src/util/logging\.h$'

@@ -24,20 +24,22 @@ case "$mode" in
   asan)
     sanitize=address
     # loadgen_test covers the varint/shard encode-decode path and the
-    # end-to-end serving loop (parse/rewrite/execute under churn).
-    suites="failpoint_test deadline_test persistence_test loadgen_test"
+    # end-to-end serving loop (parse/rewrite/execute under churn);
+    # view_store_test the WAL torn-tail/rollback and eviction paths.
+    suites="failpoint_test deadline_test persistence_test loadgen_test view_store_test"
     ;;
   ubsan)
     sanitize=undefined
-    suites="failpoint_test deadline_test persistence_test sql_parser_test plan_test loadgen_test"
+    suites="failpoint_test deadline_test persistence_test sql_parser_test plan_test loadgen_test view_store_test"
     ;;
   tsan)
     sanitize=thread
     # problem_index_test covers the incremental selection engine across
     # pool sizes (shared MvsProblemIndex read by concurrent trials);
     # subquery_test the chunked/streaming clusterer (parallel extraction
-    # and bucketed overlap); loadgen_test the multi-client serving loop.
-    suites="thread_pool_test static_analysis_test parallel_determinism_test problem_index_test subquery_test loadgen_test"
+    # and bucketed overlap); loadgen_test the multi-client serving loop;
+    # view_store_test pins/evictions/async builds racing on the store.
+    suites="thread_pool_test static_analysis_test parallel_determinism_test problem_index_test subquery_test loadgen_test view_store_test"
     ;;
   *)
     echo "usage: $0 asan|ubsan|tsan" >&2

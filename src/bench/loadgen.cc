@@ -20,6 +20,7 @@
 #include "plan/builder.h"
 #include "select/iterview.h"
 #include "subquery/clusterer.h"
+#include "util/metrics.h"
 #include "util/random.h"
 #include "util/strings.h"
 #include "util/thread_pool.h"
@@ -81,6 +82,8 @@ Status ParseFlag(const std::string& arg, LoadGenConfig* config) {
     config->select_iterations = u;
   } else if (key == "select_timeout_s") {
     AV_RETURN_NOT_OK(parse_double(&config->select_timeout_s));
+  } else if (key == "view_budget_bytes") {
+    AV_RETURN_NOT_OK(parse_u64(&config->view_budget_bytes));
   } else if (key == "csv") {
     config->csv_file = value;
   } else if (key == "json") {
@@ -123,6 +126,9 @@ std::vector<std::string> ToArgs(const LoadGenConfig& config) {
       StrFormat("--select_iterations=%zu", config.select_iterations));
   args.push_back(
       StrFormat("--select_timeout_s=%.17g", config.select_timeout_s));
+  args.push_back(StrFormat(
+      "--view_budget_bytes=%llu",
+      static_cast<unsigned long long>(config.view_budget_bytes)));
   args.push_back("--csv=" + config.csv_file);
   args.push_back("--json=" + config.json_file);
   return args;
@@ -291,18 +297,38 @@ Result<LoadGenResult> RunLoadGen(const LoadGenConfig& config) {
   result.select_utility = solution.utility;
   result.select_timed_out = solution.timed_out;
 
-  // 4. Materialize the chosen views.
+  // 4. Materialize the chosen views into a budgeted store, each scored
+  // with its solver utility so any forced eviction keeps the strongest
+  // utility-per-byte views. A view the budget rejects outright is
+  // skipped — its queries serve from base tables. Store counters are
+  // reported as deltas so concurrent runs in one process stay additive.
+  const ViewStoreCounters::Snapshot store_before = GlobalViewStore().Read();
+  const RobustnessCounters::Snapshot robust_before = GlobalRobustness().Read();
   Executor executor(workload.db.get());
-  MaterializedViewStore store(workload.db.get());
-  std::vector<const MaterializedView*> selected;
+  ViewStoreOptions store_options;
+  store_options.budget_bytes = config.view_budget_bytes;
+  result.view_budget_bytes = config.view_budget_bytes;
+  MaterializedViewStore store(workload.db.get(), store_options);
   for (size_t j = 0; j < solution.z.size(); ++j) {
     if (!solution.z[j]) continue;
-    AV_ASSIGN_OR_RETURN(
-        const MaterializedView* view,
-        store.Materialize(problem.candidate_plans[j], executor));
-    selected.push_back(view);
+    MaterializeOptions mopts;
+    mopts.utility = index.ViewUtility(j);
+    Result<const MaterializedView*> view =
+        store.Materialize(problem.candidate_plans[j], executor, mopts);
+    if (!view.ok() &&
+        view.status().code() != StatusCode::kResourceExhausted) {
+      return view.status();
+    }
   }
+
+  // Serve from a pinned snapshot: pinned views cannot be physically
+  // dropped mid-request, and views the budget evicted simply are not in
+  // the set.
+  ViewSetSnapshot snapshot = store.PinLive();
+  const std::vector<const MaterializedView*>& selected = snapshot.views();
   result.num_selected = selected.size();
+  result.store_views = store.size();
+  result.store_bytes = store.bytes_used();
 
   // 5. Serve: config.clients concurrent clients on the shared pool,
   // each parsing/rewriting/executing its own request stream.
@@ -365,6 +391,12 @@ Result<LoadGenResult> RunLoadGen(const LoadGenConfig& config) {
                 static_cast<double>(latencies.size());
   result.peak_rss_mb =
       static_cast<double>(PeakRssBytes()) / (1024.0 * 1024.0);
+  for (const auto& task : tasks) result.failed_requests += task.errors;
+  snapshot.Release();
+  result.evictions =
+      GlobalViewStore().Read().evictions - store_before.evictions;
+  result.rewrite_fallbacks = GlobalRobustness().Read().rewrite_fallbacks -
+                             robust_before.rewrite_fallbacks;
 
   if (!config.csv_file.empty()) {
     AV_RETURN_NOT_OK(WriteTextFile(config.csv_file, ThroughputCsv({result})));
@@ -386,13 +418,21 @@ std::string ResultJson(const LoadGenResult& r) {
       "\"elapsed_s\": %.3f, \"qps\": %.2f, \"p50_ms\": %.3f, "
       "\"p95_ms\": %.3f, \"p99_ms\": %.3f, \"mean_ms\": %.3f, "
       "\"csr_shards\": %zu, \"csr_bytes\": %zu, \"peak_rss_mb\": %.1f, "
-      "\"select_utility\": %.4f, \"select_timed_out\": %s}",
+      "\"select_utility\": %.4f, \"select_timed_out\": %s, "
+      "\"view_budget_bytes\": %llu, \"store_bytes\": %llu, "
+      "\"store_views\": %zu, \"evictions\": %llu, "
+      "\"rewrite_fallbacks\": %llu, \"failed_requests\": %zu}",
       r.workload.c_str(), r.mode.c_str(), r.num_queries, r.num_tables,
       r.num_candidates, r.num_selected, r.clients,
       static_cast<unsigned long long>(r.seed), r.requests, r.elapsed_s,
       r.qps, r.p50_ms, r.p95_ms, r.p99_ms, r.mean_ms, r.csr_shards,
       r.csr_bytes, r.peak_rss_mb, r.select_utility,
-      r.select_timed_out ? "true" : "false");
+      r.select_timed_out ? "true" : "false",
+      static_cast<unsigned long long>(r.view_budget_bytes),
+      static_cast<unsigned long long>(r.store_bytes), r.store_views,
+      static_cast<unsigned long long>(r.evictions),
+      static_cast<unsigned long long>(r.rewrite_fallbacks),
+      r.failed_requests);
 }
 
 }  // namespace
@@ -412,17 +452,24 @@ std::string ThroughputCsv(const std::vector<LoadGenResult>& results) {
   std::string out =
       "workload,mode,queries,tables,candidates,selected,clients,seed,"
       "requests,elapsed_s,qps,p50_ms,p95_ms,p99_ms,mean_ms,csr_shards,"
-      "csr_bytes,peak_rss_mb,select_utility,select_timed_out\n";
+      "csr_bytes,peak_rss_mb,select_utility,select_timed_out,"
+      "view_budget_bytes,store_bytes,store_views,evictions,"
+      "rewrite_fallbacks,failed_requests\n";
   for (const LoadGenResult& r : results) {
     out += StrFormat(
         "%s,%s,%zu,%zu,%zu,%zu,%d,%llu,%zu,%.3f,%.2f,%.3f,%.3f,%.3f,%.3f,"
-        "%zu,%zu,%.1f,%.4f,%d\n",
+        "%zu,%zu,%.1f,%.4f,%d,%llu,%llu,%zu,%llu,%llu,%zu\n",
         r.workload.c_str(), r.mode.c_str(), r.num_queries, r.num_tables,
         r.num_candidates, r.num_selected, r.clients,
         static_cast<unsigned long long>(r.seed), r.requests, r.elapsed_s,
         r.qps, r.p50_ms, r.p95_ms, r.p99_ms, r.mean_ms, r.csr_shards,
         r.csr_bytes, r.peak_rss_mb, r.select_utility,
-        r.select_timed_out ? 1 : 0);
+        r.select_timed_out ? 1 : 0,
+        static_cast<unsigned long long>(r.view_budget_bytes),
+        static_cast<unsigned long long>(r.store_bytes), r.store_views,
+        static_cast<unsigned long long>(r.evictions),
+        static_cast<unsigned long long>(r.rewrite_fallbacks),
+        r.failed_requests);
   }
   return out;
 }

@@ -33,6 +33,12 @@ struct LoadGenConfig {
   size_t select_iterations = 60;   ///< IterView iterations
   double select_timeout_s = 20.0;  ///< selection deadline (anytime)
 
+  /// Byte budget of the serving view store (0 = unlimited). When the
+  /// selection does not fit, the store keeps the best utility-per-byte
+  /// views and the rest of the requests fall back to base tables — the
+  /// run still completes with zero failed queries.
+  uint64_t view_budget_bytes = 0;
+
   std::string csv_file;   ///< summary CSV path ("" = skip)
   std::string json_file;  ///< summary JSON path ("" = skip)
 
@@ -43,6 +49,7 @@ struct LoadGenConfig {
            full == other.full && max_requests == other.max_requests &&
            select_iterations == other.select_iterations &&
            select_timeout_s == other.select_timeout_s &&
+           view_budget_bytes == other.view_budget_bytes &&
            csv_file == other.csv_file && json_file == other.json_file;
   }
 };
@@ -79,6 +86,13 @@ struct LoadGenResult {
   double peak_rss_mb = 0.0;     ///< process peak RSS after the run
   double select_utility = 0.0;  ///< chosen solution utility
   bool select_timed_out = false;
+
+  uint64_t view_budget_bytes = 0;  ///< configured store budget (0 = off)
+  uint64_t store_bytes = 0;        ///< stored view bytes while serving
+  size_t store_views = 0;          ///< resident views while serving
+  uint64_t evictions = 0;          ///< budget evictions during this run
+  uint64_t rewrite_fallbacks = 0;  ///< evicted-view rewrite fallbacks
+  size_t failed_requests = 0;      ///< requests that returned an error
 };
 
 /// Nearest-rank percentile (p in [0, 100]) over ascending `sorted`;

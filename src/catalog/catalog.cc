@@ -4,6 +4,7 @@ namespace autoview {
 
 Status Catalog::AddTable(TableSchema schema) {
   const std::string name = schema.name();
+  MutexLock lock(mu_);
   if (tables_.count(name)) {
     return Status::AlreadyExists("table already registered: " + name);
   }
@@ -11,7 +12,17 @@ Status Catalog::AddTable(TableSchema schema) {
   return Status::OK();
 }
 
+Status Catalog::RemoveTable(const std::string& table) {
+  MutexLock lock(mu_);
+  if (tables_.erase(table) == 0) {
+    return Status::NotFound("no such table: " + table);
+  }
+  stats_.erase(table);
+  return Status::OK();
+}
+
 Status Catalog::SetStats(const std::string& table, TableStats stats) {
+  MutexLock lock(mu_);
   if (!tables_.count(table)) {
     return Status::NotFound("no such table: " + table);
   }
@@ -20,6 +31,7 @@ Status Catalog::SetStats(const std::string& table, TableStats stats) {
 }
 
 Result<const TableSchema*> Catalog::GetTable(const std::string& table) const {
+  MutexLock lock(mu_);
   auto it = tables_.find(table);
   if (it == tables_.end()) {
     return Status::NotFound("no such table: " + table);
@@ -28,11 +40,23 @@ Result<const TableSchema*> Catalog::GetTable(const std::string& table) const {
 }
 
 const TableStats& Catalog::GetStats(const std::string& table) const {
+  MutexLock lock(mu_);
   auto it = stats_.find(table);
   return it == stats_.end() ? empty_stats_ : it->second;
 }
 
+bool Catalog::HasTable(const std::string& table) const {
+  MutexLock lock(mu_);
+  return tables_.count(table) > 0;
+}
+
+size_t Catalog::num_tables() const {
+  MutexLock lock(mu_);
+  return tables_.size();
+}
+
 std::vector<std::string> Catalog::TableNames() const {
+  MutexLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(tables_.size());
   for (const auto& [name, _] : tables_) names.push_back(name);

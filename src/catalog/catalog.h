@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "catalog/schema.h"
+#include "util/annotations.h"
 #include "util/status.h"
 
 namespace autoview {
@@ -15,33 +16,52 @@ namespace autoview {
 /// The catalog is consulted by the parser/planner (name resolution), the
 /// traditional cost estimator (statistics), and the cost-model feature
 /// extractor (schema keywords + numerical features).
+///
+/// Thread safety: all methods are individually thread-safe (internally
+/// locked), so the rewriter's existence probe can race view-store
+/// installs and evictions. Returned pointers/references are stable map
+/// nodes: a GetTable() schema stays valid until RemoveTable() of that
+/// same table, and a GetStats() reference until the next SetStats() for
+/// it — base tables are never removed, and the view store's pin
+/// protocol keeps served view tables registered, so readers of either
+/// never dangle. The object itself is neither movable nor copyable.
 class Catalog {
  public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
   /// Registers a table. Fails with AlreadyExists on duplicate names.
-  Status AddTable(TableSchema schema);
+  Status AddTable(TableSchema schema) AV_EXCLUDES(mu_);
+
+  /// Unregisters a table and its statistics (view retirement; base
+  /// tables are never removed). Fails with NotFound.
+  Status RemoveTable(const std::string& table) AV_EXCLUDES(mu_);
 
   /// Replaces (or installs) the statistics for `table`.
-  Status SetStats(const std::string& table, TableStats stats);
+  Status SetStats(const std::string& table, TableStats stats)
+      AV_EXCLUDES(mu_);
 
   /// Looks up a schema by table name.
-  Result<const TableSchema*> GetTable(const std::string& table) const;
+  Result<const TableSchema*> GetTable(const std::string& table) const
+      AV_EXCLUDES(mu_);
 
   /// Looks up statistics; returns zeroed defaults if never set.
-  const TableStats& GetStats(const std::string& table) const;
+  const TableStats& GetStats(const std::string& table) const
+      AV_EXCLUDES(mu_);
 
-  bool HasTable(const std::string& table) const {
-    return tables_.count(table) > 0;
-  }
+  bool HasTable(const std::string& table) const AV_EXCLUDES(mu_);
 
-  size_t num_tables() const { return tables_.size(); }
+  size_t num_tables() const AV_EXCLUDES(mu_);
 
   /// Sorted list of table names.
-  std::vector<std::string> TableNames() const;
+  std::vector<std::string> TableNames() const AV_EXCLUDES(mu_);
 
  private:
-  std::map<std::string, TableSchema> tables_;
-  std::map<std::string, TableStats> stats_;
-  TableStats empty_stats_;
+  mutable Mutex mu_;
+  std::map<std::string, TableSchema> tables_ AV_GUARDED_BY(mu_);
+  std::map<std::string, TableStats> stats_ AV_GUARDED_BY(mu_);
+  const TableStats empty_stats_;  // immutable: safe to hand out unlocked
 };
 
 }  // namespace autoview

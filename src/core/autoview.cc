@@ -1,6 +1,7 @@
 #include "core/autoview.h"
 
 #include <algorithm>
+#include <map>
 #include <set>
 
 #include "plan/builder.h"
@@ -50,8 +51,11 @@ Status AutoViewSystem::BuildGroundTruth() {
     query_costs_[i] = options_.pricing.QueryCost(report);
   }
 
-  // 2. Materialize every candidate to measure size and build cost.
-  MaterializedViewStore store(db_);
+  // 2. Materialize every candidate to measure size and build cost. The
+  // store is explicitly unlimited (not FromEnv): this phase *measures*
+  // every candidate, so an operator byte budget must not evict any of
+  // them mid-measurement.
+  MaterializedViewStore store(db_, ViewStoreOptions{});
   candidates_.clear();
   std::vector<const MaterializedView*> views;
   for (size_t cand = 0; cand < analysis_.candidates.size(); ++cand) {
@@ -242,24 +246,44 @@ Result<EndToEndReport> AutoViewSystem::ExecuteSolution(
   }
   report.rewritten_latency_min = report.raw_latency_min;
 
-  // Materialize exactly the selected views.
+  // Materialize exactly the selected views. The store honours the
+  // operator budget (AUTOVIEW_VIEW_BUDGET_BYTES via FromEnv); each view
+  // carries its solver utility so eviction, if the budget forces any,
+  // drops the weakest utility-per-byte views first. A view rejected by
+  // the budget degrades to base-table execution for its queries instead
+  // of failing the run.
   MaterializedViewStore store(db_);
-  std::vector<const MaterializedView*> views(nz, nullptr);
+  std::vector<int64_t> view_ids(nz, -1);
   for (size_t j = 0; j < nz; ++j) {
     if (!solution.z[j]) continue;
-    AV_ASSIGN_OR_RETURN(const MaterializedView* view,
-                        store.Materialize(candidates_[j].plan, executor_));
-    views[j] = view;
+    MaterializeOptions mopts;
+    mopts.utility = problem_.MaxBenefit(j) - problem_.overhead[j];
+    Result<const MaterializedView*> view =
+        store.Materialize(candidates_[j].plan, executor_, mopts);
+    if (!view.ok()) {
+      if (view.status().code() == StatusCode::kResourceExhausted) continue;
+      return view.status();
+    }
+    view_ids[j] = view.value()->id;
     ++report.num_views;
     report.view_overhead += candidates_[j].overhead;
   }
 
-  // Rewrite + execute each associated query with its assigned views.
+  // Rewrite + execute each associated query against a pinned snapshot:
+  // pinned views cannot be physically dropped mid-serve, and views the
+  // budget evicted simply do not appear (their queries run on base
+  // tables).
+  ViewSetSnapshot snapshot = store.PinLive();
+  std::map<int64_t, const MaterializedView*> live;
+  for (const MaterializedView* view : snapshot.views()) live[view->id] = view;
   Rewriter rewriter(&db_->catalog());
   for (size_t row = 0; row < solution.y.size(); ++row) {
     std::vector<const MaterializedView*> assigned;
     for (size_t j = 0; j < nz; ++j) {
-      if (solution.y[row][j] && views[j]) assigned.push_back(views[j]);
+      if (!solution.y[row][j] || view_ids[j] < 0) continue;
+      if (auto it = live.find(view_ids[j]); it != live.end()) {
+        assigned.push_back(it->second);
+      }
     }
     if (assigned.empty()) continue;
     const size_t qi = analysis_.associated_queries[row];
@@ -277,6 +301,7 @@ Result<EndToEndReport> AutoViewSystem::ExecuteSolution(
         query_reports_[qi].CpuMinutes(options_.pricing.consts);
   }
 
+  snapshot.Release();
   AV_RETURN_NOT_OK(store.Clear());
   return report;
 }

@@ -33,6 +33,7 @@ Status Database::AddTable(TableSchema schema, std::vector<Row> rows) {
   table.rows = std::move(rows);
   const std::string name = schema.name();
   AV_RETURN_NOT_OK(catalog_.AddTable(std::move(schema)));
+  MutexLock lock(mu_);
   tables_.emplace(name, std::move(table));
   return Status::OK();
 }
@@ -41,33 +42,32 @@ Status Database::AddMaterialized(const std::string& name, Table table) {
   std::vector<ColumnSchema> cols;
   for (const auto& col : table.columns) cols.push_back({col.name, col.type});
   AV_RETURN_NOT_OK(catalog_.AddTable(TableSchema(name, std::move(cols))));
-  tables_.emplace(name, std::move(table));
+  {
+    MutexLock lock(mu_);
+    tables_.emplace(name, std::move(table));
+  }
   return ComputeStats(name);
 }
 
 Status Database::DropTable(const std::string& name) {
-  if (!tables_.count(name)) return Status::NotFound("no such table: " + name);
-  tables_.erase(name);
-  // The Catalog intentionally has no removal API (schemas are append-only
-  // in the paper's metadata database); rebuild it without `name`.
-  Catalog fresh;
-  for (const auto& table_name : catalog_.TableNames()) {
-    if (table_name == name) continue;
-    auto schema = catalog_.GetTable(table_name);
-    AV_RETURN_NOT_OK(fresh.AddTable(*schema.value()));
-    AV_RETURN_NOT_OK(fresh.SetStats(table_name, catalog_.GetStats(table_name)));
+  {
+    MutexLock lock(mu_);
+    if (tables_.erase(name) == 0) {
+      return Status::NotFound("no such table: " + name);
+    }
   }
-  catalog_ = std::move(fresh);
-  return Status::OK();
+  return catalog_.RemoveTable(name);
 }
 
 Result<const Table*> Database::GetTable(const std::string& name) const {
+  MutexLock lock(mu_);
   auto it = tables_.find(name);
   if (it == tables_.end()) return Status::NotFound("no such table: " + name);
   return &it->second;
 }
 
 Status Database::ComputeStats(const std::string& name, size_t buckets) {
+  MutexLock lock(mu_);
   auto it = tables_.find(name);
   if (it == tables_.end()) return Status::NotFound("no such table: " + name);
   const Table& table = it->second;
@@ -115,7 +115,13 @@ Status Database::ComputeStats(const std::string& name, size_t buckets) {
 }
 
 Status Database::ComputeAllStats(size_t buckets) {
-  for (const auto& [name, _] : tables_) {
+  std::vector<std::string> names;
+  {
+    MutexLock lock(mu_);
+    names.reserve(tables_.size());
+    for (const auto& [name, _] : tables_) names.push_back(name);
+  }
+  for (const auto& name : names) {
     AV_RETURN_NOT_OK(ComputeStats(name, buckets));
   }
   return Status::OK();

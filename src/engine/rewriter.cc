@@ -1,6 +1,7 @@
 #include "engine/rewriter.h"
 
 #include "plan/canonical.h"
+#include "util/metrics.h"
 #include "util/strings.h"
 
 namespace autoview {
@@ -60,6 +61,13 @@ Result<PlanNodePtr> Rewriter::RewriteNode(const PlanNodePtr& node,
                                           const MaterializedView& view,
                                           bool* changed) const {
   if (CanonicalKey(*node) == view.canonical_key) {
+    if (!catalog_->HasTable(view.table_name)) {
+      // The view was evicted/dropped between the match decision and this
+      // rewrite: keep the base-table subtree so the query still answers
+      // correctly, and count the degradation (see GlobalRobustness()).
+      GlobalRobustness().RecordRewriteFallback();
+      return node;  // *changed stays false
+    }
     *changed = true;
     return BuildReplacement(*node, view);
   }

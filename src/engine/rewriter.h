@@ -21,7 +21,13 @@ class Rewriter {
   explicit Rewriter(const Catalog* catalog) : catalog_(catalog) {}
 
   /// Rewrites `plan` with a single view. `*changed` reports whether any
-  /// substitution happened (it is set to false otherwise).
+  /// substitution happened (it is set to false otherwise). A view whose
+  /// backing table has been concurrently evicted/dropped is skipped —
+  /// the matched subtree keeps its base-table form and the fallback is
+  /// counted in GlobalRobustness() — so rewriting never produces a plan
+  /// that scans a missing table. Callers on concurrent paths should
+  /// still pin the views (MaterializedViewStore::PinLive) so matched
+  /// descriptors stay readable.
   Result<PlanNodePtr> Rewrite(const PlanNodePtr& plan,
                               const MaterializedView& view,
                               bool* changed) const;

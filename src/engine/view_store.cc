@@ -1,77 +1,545 @@
 #include "engine/view_store.h"
 
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
 #include "plan/canonical.h"
 #include "util/failpoint.h"
+#include "util/logging.h"
+#include "util/metrics.h"
+#include "util/strings.h"
+#include "util/thread_pool.h"
 
 namespace autoview {
 
+ViewStoreOptions ViewStoreOptions::FromEnv() {
+  ViewStoreOptions options;
+  if (const char* raw = std::getenv("AUTOVIEW_VIEW_BUDGET_BYTES")) {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(raw, &end, 10);
+    if (end != raw && *end == '\0') {
+      options.budget_bytes = parsed;
+    } else {
+      AV_LOG(Warning) << "ignoring unparsable AUTOVIEW_VIEW_BUDGET_BYTES='"
+                      << raw << "' (store stays unlimited)";
+    }
+  }
+  return options;
+}
+
+ViewSetSnapshot& ViewSetSnapshot::operator=(ViewSetSnapshot&& other) noexcept {
+  if (this != &other) {
+    Release();
+    store_ = other.store_;
+    generation_ = other.generation_;
+    ids_ = std::move(other.ids_);
+    views_ = std::move(other.views_);
+    other.store_ = nullptr;
+    other.ids_.clear();
+    other.views_.clear();
+  }
+  return *this;
+}
+
+void ViewSetSnapshot::Release() {
+  if (store_ != nullptr) store_->UnpinAll(ids_);
+  store_ = nullptr;
+  ids_.clear();
+  views_.clear();
+}
+
+MaterializedViewStore::MaterializedViewStore(Database* db,
+                                             ViewStoreOptions options)
+    : db_(db), options_(std::move(options)) {
+  if (!options_.wal_path.empty()) {
+    log_ = std::make_unique<ViewStateLog>(options_.wal_path);
+  }
+}
+
+ViewLogRecord MaterializedViewStore::MaterializeRecord(
+    const MaterializedView& view) {
+  ViewLogRecord record;
+  record.kind = ViewLogRecord::Kind::kMaterialize;
+  record.id = view.id;
+  record.generation = view.generation;
+  record.byte_size = view.byte_size;
+  record.utility = view.utility;
+  record.canonical_key = view.canonical_key;
+  return record;
+}
+
 Result<const MaterializedView*> MaterializedViewStore::Materialize(
-    PlanNodePtr subquery, const Executor& executor) {
+    PlanNodePtr subquery, const Executor& executor, MaterializeOptions mopts) {
   AV_FAILPOINT_STATUS("viewstore.materialize");
   if (!subquery) return Status::InvalidArgument("null subquery");
   std::string key = CanonicalKey(*subquery);
-  MutexLock lock(mu_);
-  if (auto it = by_key_.find(key); it != by_key_.end()) {
-    return Status::AlreadyExists("view already materialized for subquery");
+  {
+    MutexLock lock(mu_);
+    if (auto it = by_key_.find(key); it != by_key_.end()) {
+      Entry& entry = by_id_.at(it->second);
+      if (mopts.generation != 0 &&
+          mopts.generation != entry.view.generation) {
+        // A staged re-selection keeps this survivor: adopt (re-tag) it
+        // under the new generation with its fresh solver score instead
+        // of rebuilding — the backing table is already correct.
+        MaterializedView retagged = entry.view;
+        retagged.generation = mopts.generation;
+        retagged.utility = mopts.utility;
+        if (log_) AV_RETURN_NOT_OK(log_->Append(MaterializeRecord(retagged)));
+        entry.view.generation = retagged.generation;
+        entry.view.utility = retagged.utility;
+        return &entry.view;
+      }
+      return Status::AlreadyExists("view already materialized for subquery");
+    }
+    if (building_.count(key) != 0) {
+      return Status::AlreadyExists("view build already in flight");
+    }
+    building_.insert(key);
   }
-  AV_ASSIGN_OR_RETURN(ExecResult result, executor.Execute(*subquery));
+  // The build — the expensive part — runs with the registry unlocked, so
+  // concurrent lookups, drops, and other builds proceed in parallel.
+  // The key reservation above keeps duplicate builds out meanwhile.
+  Result<ExecResult> built = executor.Execute(*subquery);
+  MutexLock lock(mu_);
+  building_.erase(key);
+  if (!built.ok()) return built.status();
+  return InstallLocked(std::move(subquery), std::move(key),
+                       std::move(built).value(), mopts);
+}
+
+Result<const MaterializedView*> MaterializedViewStore::InstallLocked(
+    PlanNodePtr plan, std::string key, ExecResult result,
+    const MaterializeOptions& mopts) {
+  const uint64_t bytes = result.table.ByteSize();
+  AV_RETURN_NOT_OK(EvictToFitLocked(bytes));
   MaterializedView view;
   view.id = next_id_++;
   view.table_name = "__mv_" + std::to_string(view.id);
-  view.plan = std::move(subquery);
+  view.plan = std::move(plan);
   view.canonical_key = std::move(key);
-  view.byte_size = result.table.ByteSize();
+  view.byte_size = bytes;
   view.build_cost = result.cost;
+  view.utility = mopts.utility;
+  view.generation = mopts.generation != 0 ? mopts.generation : generation_;
   AV_RETURN_NOT_OK(
       db_->AddMaterialized(view.table_name, std::move(result.table)));
-  auto [it, _] = by_id_.emplace(view.id, std::move(view));
-  by_key_.emplace(it->second.canonical_key, it->first);
-  return &it->second;
+  if (log_) {
+    // The WAL append is the commit point; a failed append rolls the
+    // table back so memory and log agree on the committed set.
+    if (Status s = log_->Append(MaterializeRecord(view)); !s.ok()) {
+      Status dropped = db_->DropTable(view.table_name);
+      if (!dropped.ok()) {
+        AV_LOG(Warning) << "rollback drop of " << view.table_name
+                        << " failed: " << dropped.ToString();
+      }
+      return s;
+    }
+  }
+  bytes_used_ += view.byte_size;
+  auto [it, inserted] = by_id_.emplace(view.id, Entry{std::move(view), 0, false});
+  by_key_.emplace(it->second.view.canonical_key, it->first);
+  (void)inserted;
+  return &it->second.view;
+}
+
+Status MaterializedViewStore::EvictToFitLocked(uint64_t needed) {
+  if (options_.budget_bytes == 0) return Status::OK();
+  if (needed > options_.budget_bytes) {
+    GlobalViewStore().RecordAdmissionRejected();
+    return Status::ResourceExhausted(
+        StrFormat("view of %llu bytes exceeds the whole budget (%llu)",
+                  static_cast<unsigned long long>(needed),
+                  static_cast<unsigned long long>(options_.budget_bytes)));
+  }
+  while (bytes_used_ + needed > options_.budget_bytes) {
+    // Victim: lowest utility-per-byte among unpinned live views; ties
+    // break toward the smallest id (the map iterates ascending id and
+    // only a strictly lower score displaces the incumbent), so eviction
+    // order is fully deterministic.
+    auto victim = by_id_.end();
+    double victim_score = 0.0;
+    for (auto it = by_id_.begin(); it != by_id_.end(); ++it) {
+      const Entry& entry = it->second;
+      if (entry.doomed || entry.pins > 0) continue;
+      const double score =
+          entry.view.utility /
+          static_cast<double>(std::max<uint64_t>(1, entry.view.byte_size));
+      if (victim == by_id_.end() || score < victim_score) {
+        victim = it;
+        victim_score = score;
+      }
+    }
+    if (victim == by_id_.end()) {
+      GlobalViewStore().RecordAdmissionRejected();
+      return Status::ResourceExhausted(
+          "view budget full and every resident view is pinned");
+    }
+    const uint64_t victim_bytes = victim->second.view.byte_size;
+    AV_RETURN_NOT_OK(DoomLocked(victim));
+    GlobalViewStore().RecordEviction(victim_bytes);
+  }
+  return Status::OK();
+}
+
+Status MaterializedViewStore::DoomLocked(EntryMap::iterator it) {
+  Entry& entry = it->second;
+  if (log_) {
+    ViewLogRecord record;
+    record.kind = ViewLogRecord::Kind::kDrop;
+    record.id = entry.view.id;
+    AV_RETURN_NOT_OK(log_->Append(record));
+  }
+  by_key_.erase(entry.view.canonical_key);
+  if (entry.pins > 0) {
+    // Logically dropped now (committed above); the table and the byte
+    // accounting survive until the last snapshot unpins it.
+    entry.doomed = true;
+    return Status::OK();
+  }
+  return PhysicalDropLocked(it);
+}
+
+Status MaterializedViewStore::PhysicalDropLocked(EntryMap::iterator it) {
+  AV_RETURN_NOT_OK(db_->DropTable(it->second.view.table_name));
+  bytes_used_ -= std::min(bytes_used_, it->second.view.byte_size);
+  by_id_.erase(it);
+  return Status::OK();
+}
+
+void MaterializedViewStore::UnpinAll(const std::vector<int64_t>& ids) {
+  MutexLock lock(mu_);
+  for (int64_t id : ids) {
+    auto it = by_id_.find(id);
+    if (it == by_id_.end()) continue;  // defensive; pins should pin
+    Entry& entry = it->second;
+    if (entry.pins > 0) --entry.pins;
+    if (entry.pins == 0 && entry.doomed) {
+      if (Status s = PhysicalDropLocked(it); !s.ok()) {
+        AV_LOG(Warning) << "deferred view drop failed: " << s.ToString();
+      }
+    }
+  }
+}
+
+ViewSetSnapshot MaterializedViewStore::PinLive() {
+  MutexLock lock(mu_);
+  ViewSetSnapshot snapshot;
+  snapshot.store_ = this;
+  snapshot.generation_ = generation_;
+  for (auto& [id, entry] : by_id_) {
+    if (entry.doomed) continue;
+    ++entry.pins;
+    snapshot.ids_.push_back(id);
+    snapshot.views_.push_back(&entry.view);
+  }
+  return snapshot;
+}
+
+std::future<Status> MaterializedViewStore::MaterializeAsync(
+    PlanNodePtr subquery, const Executor& executor, MaterializeOptions mopts) {
+  {
+    MutexLock lock(mu_);
+    ++async_inflight_;
+  }
+  ThreadPool& pool = options_.pool != nullptr ? *options_.pool : DefaultPool();
+  const Executor* exec = &executor;
+  return pool.Submit(
+      [this, subquery = std::move(subquery), exec, mopts]() mutable -> Status {
+        GlobalViewStore().RecordAsyncBuild();
+        Result<const MaterializedView*> r =
+            Materialize(std::move(subquery), *exec, mopts);
+        MutexLock lock(mu_);
+        if (--async_inflight_ == 0) idle_cv_.NotifyAll();
+        return r.ok() ? Status::OK() : r.status();
+      });
+}
+
+void MaterializedViewStore::WaitIdle() const {
+  MutexLock lock(mu_);
+  while (async_inflight_ > 0) idle_cv_.Wait(mu_);
 }
 
 const MaterializedView* MaterializedViewStore::FindByKey(
     const std::string& canonical_key) const {
   MutexLock lock(mu_);
   auto it = by_key_.find(canonical_key);
-  return it == by_key_.end() ? nullptr : &by_id_.at(it->second);
+  return it == by_key_.end() ? nullptr : &by_id_.at(it->second).view;
 }
 
 const MaterializedView* MaterializedViewStore::FindById(int64_t id) const {
   MutexLock lock(mu_);
   auto it = by_id_.find(id);
-  return it == by_id_.end() ? nullptr : &it->second;
-}
-
-Status MaterializedViewStore::DropLocked(int64_t id) {
-  auto it = by_id_.find(id);
-  if (it == by_id_.end()) return Status::NotFound("no such view");
-  AV_RETURN_NOT_OK(db_->DropTable(it->second.table_name));
-  by_key_.erase(it->second.canonical_key);
-  by_id_.erase(it);
-  return Status::OK();
+  if (it == by_id_.end() || it->second.doomed) return nullptr;
+  return &it->second.view;
 }
 
 Status MaterializedViewStore::Drop(int64_t id) {
   MutexLock lock(mu_);
-  return DropLocked(id);
+  auto it = by_id_.find(id);
+  if (it == by_id_.end() || it->second.doomed) {
+    return Status::NotFound("no such view");
+  }
+  return DoomLocked(it);
 }
 
 Status MaterializedViewStore::Clear() {
   MutexLock lock(mu_);
-  while (!by_id_.empty()) {
-    AV_RETURN_NOT_OK(DropLocked(by_id_.begin()->first));
+  std::vector<int64_t> live;
+  for (const auto& [id, entry] : by_id_) {
+    if (!entry.doomed) live.push_back(id);
+  }
+  for (int64_t id : live) {
+    AV_RETURN_NOT_OK(DoomLocked(by_id_.find(id)));
   }
   return Status::OK();
+}
+
+uint64_t MaterializedViewStore::BeginSwap() {
+  MutexLock lock(mu_);
+  staged_generation_ = std::max(staged_generation_, generation_) + 1;
+  return staged_generation_;
+}
+
+Status MaterializedViewStore::CommitSwap(uint64_t generation) {
+  MutexLock lock(mu_);
+  if (generation <= generation_) {
+    return Status::InvalidArgument("swap generation is not newer than current");
+  }
+  if (log_) {
+    ViewLogRecord record;
+    record.kind = ViewLogRecord::Kind::kCheckpoint;
+    record.generation = generation;
+    record.next_id = next_id_;
+    AV_RETURN_NOT_OK(log_->Append(record));
+  }
+  generation_ = generation;
+  std::vector<int64_t> retired;
+  for (const auto& [id, entry] : by_id_) {
+    if (!entry.doomed && entry.view.generation < generation) {
+      retired.push_back(id);
+    }
+  }
+  for (int64_t id : retired) {
+    AV_RETURN_NOT_OK(DoomLocked(by_id_.find(id)));
+  }
+  return Status::OK();
+}
+
+size_t MaterializedViewStore::size() const {
+  MutexLock lock(mu_);
+  size_t live = 0;
+  for (const auto& [_, entry] : by_id_) {
+    if (!entry.doomed) ++live;
+  }
+  return live;
+}
+
+uint64_t MaterializedViewStore::bytes_used() const {
+  MutexLock lock(mu_);
+  return bytes_used_;
+}
+
+uint64_t MaterializedViewStore::current_generation() const {
+  MutexLock lock(mu_);
+  return generation_;
 }
 
 double MaterializedViewStore::TotalOverhead(const Pricing& pricing) const {
   MutexLock lock(mu_);
   double total = 0.0;
-  for (const auto& [_, view] : by_id_) {
-    total += pricing.StorageFee(view.byte_size) +
-             pricing.QueryCost(view.build_cost);
+  for (const auto& [_, entry] : by_id_) {
+    if (entry.doomed) continue;
+    total += pricing.StorageFee(entry.view.byte_size) +
+             pricing.QueryCost(entry.view.build_cost);
   }
   return total;
+}
+
+Status MaterializedViewStore::Checkpoint() const {
+  MutexLock lock(mu_);
+  if (!log_) return Status::InvalidArgument("store has no WAL configured");
+  std::vector<ViewLogRecord> records;
+  ViewLogRecord header;
+  header.kind = ViewLogRecord::Kind::kCheckpoint;
+  header.generation = generation_;
+  header.next_id = next_id_;
+  records.push_back(header);
+  for (const auto& [_, entry] : by_id_) {
+    if (!entry.doomed) records.push_back(MaterializeRecord(entry.view));
+  }
+  return ViewStateLog::WriteCheckpoint(log_->path(), records);
+}
+
+Status MaterializedViewStore::RematerializeRecovered(
+    const ViewLogRecord& record, PlanNodePtr plan, const Executor& executor) {
+  AV_FAILPOINT_STATUS("viewstore.rematerialize");
+  // Build outside the lock, like Materialize; recovery rebuilds can run
+  // concurrently on the pool.
+  Result<ExecResult> built = executor.Execute(*plan);
+  if (!built.ok()) return built.status();
+  ExecResult result = std::move(built).value();
+  MutexLock lock(mu_);
+  if (by_id_.count(record.id) != 0) {
+    return Status::AlreadyExists("recovered view id already present");
+  }
+  MaterializedView view;
+  view.id = record.id;
+  view.table_name = "__mv_" + std::to_string(view.id);
+  view.plan = std::move(plan);
+  view.canonical_key = record.canonical_key;
+  view.byte_size = result.table.ByteSize();
+  view.build_cost = result.cost;
+  view.utility = record.utility;
+  view.generation = record.generation;
+  // Recovered views still honour the budget; their committed scores
+  // compete on the same utility-per-byte scale as fresh admissions.
+  AV_RETURN_NOT_OK(EvictToFitLocked(view.byte_size));
+  AV_RETURN_NOT_OK(
+      db_->AddMaterialized(view.table_name, std::move(result.table)));
+  bytes_used_ += view.byte_size;
+  auto [it, inserted] = by_id_.emplace(view.id, Entry{std::move(view), 0, false});
+  by_key_.emplace(it->second.view.canonical_key, it->first);
+  (void)inserted;
+  GlobalViewStore().RecordRecoveredView();
+  return Status::OK();
+}
+
+Result<RecoveryReport> MaterializedViewStore::Recover(
+    const Executor& executor,
+    const std::function<PlanNodePtr(const std::string&)>& resolve,
+    bool background) {
+  if (!log_) return Status::InvalidArgument("store has no WAL configured");
+  RecoveryReport report;
+  AV_ASSIGN_OR_RETURN(ViewStateLog::ReplayResult replay,
+                      ViewStateLog::Replay(log_->path()));
+  report.replayed_records = replay.records.size();
+  report.torn_tail = replay.torn_tail;
+
+  // Fold the record sequence into the committed state. MATERIALIZE
+  // upserts by id (a re-tag is an upsert under a newer generation);
+  // DROP removes; CHECKPOINT advances the current generation and — like
+  // CommitSwap — retires every strictly older live view, completing a
+  // swap the crash may have interrupted.
+  uint64_t generation = 1;
+  int64_t next_id = 1;
+  std::map<int64_t, ViewLogRecord> committed;
+  std::map<std::string, int64_t> committed_keys;
+  for (const ViewLogRecord& record : replay.records) {
+    switch (record.kind) {
+      case ViewLogRecord::Kind::kMaterialize: {
+        if (auto key_it = committed_keys.find(record.canonical_key);
+            key_it != committed_keys.end() && key_it->second != record.id) {
+          committed.erase(key_it->second);  // defensive: key superseded
+        }
+        committed[record.id] = record;
+        committed_keys[record.canonical_key] = record.id;
+        next_id = std::max(next_id, record.id + 1);
+        break;
+      }
+      case ViewLogRecord::Kind::kDrop: {
+        if (auto it = committed.find(record.id); it != committed.end()) {
+          committed_keys.erase(it->second.canonical_key);
+          committed.erase(it);
+        }
+        break;
+      }
+      case ViewLogRecord::Kind::kCheckpoint: {
+        generation = std::max(generation, record.generation);
+        next_id = std::max(next_id, record.next_id);
+        for (auto it = committed.begin(); it != committed.end();) {
+          if (it->second.generation < generation) {
+            committed_keys.erase(it->second.canonical_key);
+            it = committed.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        break;
+      }
+    }
+  }
+  report.committed_views = committed.size();
+
+  {
+    MutexLock lock(mu_);
+    if (!by_id_.empty()) {
+      return Status::InvalidArgument("Recover requires an empty store");
+    }
+    generation_ = generation;
+    staged_generation_ = generation;
+    next_id_ = next_id;
+  }
+
+  // Compact before rebuilding: the rewritten log holds exactly the
+  // committed state (torn tails gone), so a crash during the rebuilds
+  // below replays to the same set again.
+  std::vector<ViewLogRecord> compacted;
+  ViewLogRecord header;
+  header.kind = ViewLogRecord::Kind::kCheckpoint;
+  header.generation = generation;
+  header.next_id = next_id;
+  compacted.push_back(header);
+  for (const auto& [_, record] : committed) {
+    compacted.push_back(record);
+  }
+  AV_RETURN_NOT_OK(ViewStateLog::WriteCheckpoint(log_->path(), compacted));
+
+  ThreadPool& pool = options_.pool != nullptr ? *options_.pool : DefaultPool();
+  for (const auto& [id, record] : committed) {
+    PlanNodePtr plan = resolve(record.canonical_key);
+    if (!plan) {
+      // Unresolvable (schema drift): drop it from the committed set so
+      // it stops resurfacing on every recovery.
+      ++report.failed;
+      MutexLock lock(mu_);
+      ViewLogRecord drop;
+      drop.kind = ViewLogRecord::Kind::kDrop;
+      drop.id = id;
+      AV_RETURN_NOT_OK(log_->Append(drop));
+      continue;
+    }
+    if (background) {
+      {
+        MutexLock lock(mu_);
+        ++async_inflight_;
+      }
+      ViewLogRecord rec = record;
+      const Executor* exec = &executor;
+      pool.Submit([this, rec = std::move(rec), plan = std::move(plan),
+                   exec]() mutable {
+        GlobalViewStore().RecordAsyncBuild();
+        Status s = RematerializeRecovered(rec, std::move(plan), *exec);
+        MutexLock lock(mu_);
+        if (!s.ok()) {
+          AV_LOG(Warning) << "background rematerialization of view " << rec.id
+                          << " failed: " << s.ToString();
+          ViewLogRecord drop;
+          drop.kind = ViewLogRecord::Kind::kDrop;
+          drop.id = rec.id;
+          if (Status ds = log_->Append(drop); !ds.ok()) {
+            AV_LOG(Warning) << "drop record append failed: " << ds.ToString();
+          }
+        }
+        if (--async_inflight_ == 0) idle_cv_.NotifyAll();
+      });
+      ++report.rematerialized;
+    } else {
+      Status s = RematerializeRecovered(record, std::move(plan), executor);
+      if (s.ok()) {
+        ++report.rematerialized;
+      } else {
+        ++report.failed;
+        MutexLock lock(mu_);
+        ViewLogRecord drop;
+        drop.kind = ViewLogRecord::Kind::kDrop;
+        drop.id = id;
+        AV_RETURN_NOT_OK(log_->Append(drop));
+      }
+    }
+  }
+  return report;
 }
 
 }  // namespace autoview

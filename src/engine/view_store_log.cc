@@ -1,0 +1,195 @@
+#include "engine/view_store_log.h"
+
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "util/checksum.h"
+#include "util/failpoint.h"
+#include "util/metrics.h"
+#include "util/strings.h"
+
+namespace autoview {
+
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+/// Strict integer parse of a full token (locale-free, overflow-checked;
+/// same discipline as the PR-3 parser helpers).
+template <typename T>
+bool ParseInt(std::string_view token, T* out) {
+  const char* end = token.data() + token.size();
+  const auto [ptr, ec] = std::from_chars(token.data(), end, *out);
+  return ec == std::errc() && ptr == end;
+}
+
+bool ParseDouble(std::string_view token, double* out) {
+  const char* end = token.data() + token.size();
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), end, *out, std::chars_format::general);
+  return ec == std::errc() && ptr == end;
+}
+
+/// Splits off the next space-delimited token of `s`; empty when spent.
+std::string_view NextToken(std::string_view* s) {
+  const size_t space = s->find(' ');
+  std::string_view token = s->substr(0, space);
+  *s = space == std::string_view::npos ? std::string_view()
+                                       : s->substr(space + 1);
+  return token;
+}
+
+std::string EncodeBody(const ViewLogRecord& record) {
+  switch (record.kind) {
+    case ViewLogRecord::Kind::kMaterialize:
+      return StrFormat("M %lld %llu %llu %.17g ",
+                       static_cast<long long>(record.id),
+                       static_cast<unsigned long long>(record.generation),
+                       static_cast<unsigned long long>(record.byte_size),
+                       record.utility) +
+             record.canonical_key;
+    case ViewLogRecord::Kind::kDrop:
+      return StrFormat("D %lld", static_cast<long long>(record.id));
+    case ViewLogRecord::Kind::kCheckpoint:
+      return StrFormat("C %llu %lld",
+                       static_cast<unsigned long long>(record.generation),
+                       static_cast<long long>(record.next_id));
+  }
+  return "";
+}
+
+}  // namespace
+
+Result<std::string> ViewStateLog::EncodeRecord(const ViewLogRecord& record) {
+  if (record.canonical_key.find('\n') != std::string::npos) {
+    return Status::InvalidArgument("view key contains a newline");
+  }
+  const std::string body = EncodeBody(record);
+  if (body.empty()) return Status::InvalidArgument("unknown record kind");
+  return StrFormat("%016llx ",
+                   static_cast<unsigned long long>(Fnv1a64(body))) +
+         body + "\n";
+}
+
+Result<ViewLogRecord> ViewStateLog::DecodeRecord(const std::string& line) {
+  std::string_view rest = line;
+  const std::string_view checksum_hex = NextToken(&rest);
+  uint64_t expected = 0;
+  if (checksum_hex.size() != 16 ||
+      std::from_chars(checksum_hex.data(), checksum_hex.data() + 16, expected,
+                      16)
+              .ec != std::errc()) {
+    return Status::ParseError("bad WAL checksum field");
+  }
+  if (Fnv1a64(rest) != expected) {
+    return Status::ParseError("WAL record checksum mismatch");
+  }
+  ViewLogRecord record;
+  const std::string_view kind = NextToken(&rest);
+  if (kind == "M") {
+    record.kind = ViewLogRecord::Kind::kMaterialize;
+    if (!ParseInt(NextToken(&rest), &record.id) ||
+        !ParseInt(NextToken(&rest), &record.generation) ||
+        !ParseInt(NextToken(&rest), &record.byte_size) ||
+        !ParseDouble(NextToken(&rest), &record.utility)) {
+      return Status::ParseError("bad MATERIALIZE record");
+    }
+    record.canonical_key = std::string(rest);  // key may contain spaces
+  } else if (kind == "D") {
+    record.kind = ViewLogRecord::Kind::kDrop;
+    if (!ParseInt(NextToken(&rest), &record.id) || !rest.empty()) {
+      return Status::ParseError("bad DROP record");
+    }
+  } else if (kind == "C") {
+    record.kind = ViewLogRecord::Kind::kCheckpoint;
+    if (!ParseInt(NextToken(&rest), &record.generation) ||
+        !ParseInt(NextToken(&rest), &record.next_id) || !rest.empty()) {
+      return Status::ParseError("bad CHECKPOINT record");
+    }
+  } else {
+    return Status::ParseError("unknown WAL record kind");
+  }
+  return record;
+}
+
+Status ViewStateLog::Append(const ViewLogRecord& record) const {
+  AV_FAILPOINT_STATUS("viewstore.wal_append");
+  AV_ASSIGN_OR_RETURN(std::string line, EncodeRecord(record));
+  FilePtr f(std::fopen(path_.c_str(), "ab"));
+  if (!f) return Status::Internal("cannot open view log: " + path_);
+  if (std::fwrite(line.data(), 1, line.size(), f.get()) != line.size() ||
+      std::fflush(f.get()) != 0) {
+    return Status::Internal("short write to view log: " + path_);
+  }
+  return Status::OK();
+}
+
+Result<ViewStateLog::ReplayResult> ViewStateLog::Replay(
+    const std::string& path) {
+  ReplayResult result;
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return result;  // no log yet: empty committed state
+
+  std::string content;
+  char chunk[1 << 16];
+  size_t n;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), f.get())) > 0) {
+    content.append(chunk, n);
+  }
+  if (std::ferror(f.get())) {
+    return Status::Internal("read error on view log: " + path);
+  }
+  if (!content.empty() &&
+      AV_FAILPOINT("viewstore.wal_replay") == FailAction::kCorrupt) {
+    // Low bit, not 0x20: hex checksum parsing is case-insensitive, so
+    // flipping the case bit of a hex letter would be a no-op.
+    content[content.size() / 2] ^= 0x01;  // injected bit rot
+  }
+
+  size_t pos = 0;
+  while (pos < content.size()) {
+    const size_t newline = content.find('\n', pos);
+    if (newline == std::string::npos) break;  // torn final record
+    const std::string line = content.substr(pos, newline - pos);
+    Result<ViewLogRecord> record = DecodeRecord(line);
+    if (!record.ok()) break;  // first bad record ends the valid prefix
+    result.records.push_back(std::move(record).value());
+    pos = newline + 1;
+  }
+  result.valid_bytes = pos;
+  result.torn_tail = pos < content.size();
+  if (result.torn_tail) GlobalViewStore().RecordTornWalTail();
+  return result;
+}
+
+Status ViewStateLog::WriteCheckpoint(
+    const std::string& path, const std::vector<ViewLogRecord>& records) {
+  const std::string tmp = path + ".tmp";
+  {
+    FilePtr f(std::fopen(tmp.c_str(), "wb"));
+    if (!f) return Status::Internal("cannot open for writing: " + tmp);
+    for (const ViewLogRecord& record : records) {
+      AV_ASSIGN_OR_RETURN(std::string line, EncodeRecord(record));
+      if (std::fwrite(line.data(), 1, line.size(), f.get()) != line.size()) {
+        return Status::Internal("short write: " + tmp);
+      }
+    }
+    if (std::fflush(f.get()) != 0) {
+      return Status::Internal("flush failed: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("rename failed: " + tmp + " -> " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace autoview

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace autoview {
+
+/// \brief One record of the view-state log.
+///
+/// The log is the durable source of truth for *which* views are
+/// committed (id, plan key, generation, score) — never for their rows:
+/// views are derived data, so recovery rematerializes the surviving set
+/// from base tables instead of persisting result bytes.
+struct ViewLogRecord {
+  enum class Kind {
+    kMaterialize,  ///< view committed (also re-tags an existing id)
+    kDrop,         ///< view logically dropped (evicted or explicit)
+    kCheckpoint,   ///< compaction header: current generation + next id
+  };
+
+  Kind kind = Kind::kMaterialize;
+  int64_t id = 0;             ///< kMaterialize, kDrop
+  uint64_t generation = 0;    ///< kMaterialize, kCheckpoint
+  uint64_t byte_size = 0;     ///< kMaterialize: stored size at commit
+  double utility = 0.0;       ///< kMaterialize: solver score (exact)
+  std::string canonical_key;  ///< kMaterialize: CanonicalKey of the plan
+  int64_t next_id = 0;        ///< kCheckpoint: id counter floor
+};
+
+/// \brief Checksummed append-only view-state log (WAL-style).
+///
+/// Line-oriented text format, one record per line:
+///
+///   <fnv1a-hex-16> M <id> <gen> <bytes> <utility-%.17g> <canonical key>
+///   <fnv1a-hex-16> D <id>
+///   <fnv1a-hex-16> C <gen> <next_id>
+///
+/// The checksum covers the record body (everything after the first
+/// space). Replay accepts the longest valid prefix: the first line that
+/// is truncated (no trailing newline), fails its checksum, or does not
+/// parse ends the log — everything after it is a torn tail from a crash
+/// mid-append and is discarded (counted via
+/// ViewStoreCounters::RecordTornWalTail). Utilities round-trip exactly
+/// (%.17g + std::from_chars), so a recovered store scores evictions
+/// bit-identically to the pre-crash store.
+///
+/// Appends reopen the file per record and flush before returning — the
+/// store appends under its registry mutex, so log order always equals
+/// commit order. Checkpoints rewrite the whole file through the PR-2
+/// temp+rename machinery, so a crash mid-checkpoint leaves the previous
+/// log intact.
+///
+/// Failpoint sites: `viewstore.wal_append` (action `error`: the append
+/// fails before touching the file, the caller must roll back) and
+/// `viewstore.wal_replay` (action `corrupt`: replay sees a bit-flipped
+/// record, exercising torn-tail detection).
+class ViewStateLog {
+ public:
+  explicit ViewStateLog(std::string path) : path_(std::move(path)) {}
+
+  const std::string& path() const { return path_; }
+
+  /// Appends one record and flushes. Keys containing newlines are
+  /// rejected (they would corrupt the line framing).
+  Status Append(const ViewLogRecord& record) const;
+
+  struct ReplayResult {
+    std::vector<ViewLogRecord> records;  ///< longest valid prefix
+    bool torn_tail = false;   ///< trailing bytes were discarded
+    size_t valid_bytes = 0;   ///< length of the accepted prefix
+  };
+
+  /// Replays `path`. A missing file is an empty (OK) log; unreadable
+  /// files are an error. Torn tails are reported, not errors.
+  static Result<ReplayResult> Replay(const std::string& path);
+
+  /// Atomically replaces `path` with a fresh log holding exactly
+  /// `records` (temp+rename; used for checkpoint compaction).
+  static Status WriteCheckpoint(const std::string& path,
+                                const std::vector<ViewLogRecord>& records);
+
+  /// Encodes one record as a full log line including the checksum
+  /// prefix and trailing newline. Exposed for the format tests.
+  static Result<std::string> EncodeRecord(const ViewLogRecord& record);
+
+  /// Decodes one full line (no trailing newline). Checksum or syntax
+  /// failures return ParseError. Exposed for the format tests.
+  static Result<ViewLogRecord> DecodeRecord(const std::string& line);
+
+ private:
+  std::string path_;
+};
+
+}  // namespace autoview

@@ -92,6 +92,13 @@ class MvsProblemIndex {
   /// B_max[j], bit-identical to MvsProblem::MaxBenefit(j).
   double MaxBenefit(size_t j) const { return max_benefit_[j]; }
 
+  /// Standalone utility of view j: best-case benefit minus overhead
+  /// (B_max[j] - O_j). A per-view invariant of the problem instance —
+  /// independent of the evolving assignment — which is what the
+  /// budgeted view store feeds its utility-per-byte eviction score, so
+  /// eviction order stays deterministic for a given workload.
+  double ViewUtility(size_t j) const { return max_benefit_[j] - overhead_[j]; }
+
   /// sum_j O_j and sum_j B_max[j], accumulated in ascending view order
   /// (the order the naive per-iteration aggregate loops used).
   double TotalOverhead() const { return total_overhead_; }

@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "util/checksum.h"
 #include "util/failpoint.h"
 #include "util/strings.h"
 
@@ -35,18 +36,6 @@ Status ReadBytes(std::FILE* f, void* data, size_t n) {
     return Status::ParseError("short read / truncated model file");
   }
   return Status::OK();
-}
-
-/// FNV-1a over `n` bytes: tiny, dependency-free, and plenty to catch
-/// truncation and bit rot (this is corruption detection, not crypto).
-uint64_t Fnv1a(const void* data, size_t n) {
-  const unsigned char* bytes = static_cast<const unsigned char*>(data);
-  uint64_t hash = 1469598103934665603ull;
-  for (size_t i = 0; i < n; ++i) {
-    hash ^= bytes[i];
-    hash *= 1099511628211ull;
-  }
-  return hash;
 }
 
 void AppendBytes(std::vector<unsigned char>* buffer, const void* data,
@@ -125,7 +114,7 @@ Status ReadVerifiedPayload(const std::string& path,
     (*payload)[payload->size() / 2] ^= 0x40;
   }
 
-  if (Fnv1a(payload->data(), payload->size()) != expected_checksum) {
+  if (Fnv1a64(payload->data(), payload->size()) != expected_checksum) {
     return Status::ParseError("model file checksum mismatch (corrupt): " +
                               path);
   }
@@ -147,7 +136,7 @@ Status SaveParameters(const std::vector<Tensor>& params,
     AppendBytes(&payload, &cols, sizeof(cols));
     AppendBytes(&payload, p.data().data(), p.data().size() * sizeof(Scalar));
   }
-  const uint64_t checksum = Fnv1a(payload.data(), payload.size());
+  const uint64_t checksum = Fnv1a64(payload.data(), payload.size());
 
   // Crash-safe: write everything to a temp file, then rename into
   // place. Readers either see the old complete file or the new one,

@@ -1,0 +1,15 @@
+#include "util/checksum.h"
+
+namespace autoview {
+
+uint64_t Fnv1a64(const void* data, size_t n) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  uint64_t hash = 1469598103934665603ull;
+  for (size_t i = 0; i < n; ++i) {
+    hash ^= bytes[i];
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+}  // namespace autoview

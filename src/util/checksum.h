@@ -1,0 +1,20 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace autoview {
+
+/// FNV-1a over `n` bytes: tiny, dependency-free, and plenty to catch
+/// truncation and bit rot (this is corruption detection, not crypto).
+/// Shared by the model serializer (nn/serialize) and the view-state log
+/// (engine/view_store_log) so every durable artifact uses one checksum.
+uint64_t Fnv1a64(const void* data, size_t n);
+
+/// Convenience overload for string payloads (WAL record bodies).
+inline uint64_t Fnv1a64(std::string_view s) {
+  return Fnv1a64(s.data(), s.size());
+}
+
+}  // namespace autoview

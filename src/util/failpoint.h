@@ -40,6 +40,11 @@ const char* FailActionName(FailAction action);
 ///
 /// Wired sites (grep AV_FAILPOINT for the authoritative list):
 ///   viewstore.materialize  error    MaterializedViewStore::Materialize
+///   viewstore.wal_append   error    ViewStateLog::Append (the WAL
+///                                   commit point; callers roll back)
+///   viewstore.wal_replay   corrupt  ViewStateLog::Replay (bit-flips the
+///                                   log, exercising torn-tail handling)
+///   viewstore.rematerialize error   recovery rebuilds (Recover)
 ///   wide_deep.infer        nan      WideDeepEstimator::Estimate
 ///   serialize.save         error    nn::SaveParameters (before rename)
 ///   serialize.load         corrupt  nn::LoadParameters (bit-flips buffer)

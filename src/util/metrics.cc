@@ -37,11 +37,16 @@ void RobustnessCounters::RecordTimeout() {
   selection_timeouts_.fetch_add(1, std::memory_order_relaxed);
 }
 
+void RobustnessCounters::RecordRewriteFallback() {
+  rewrite_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+}
+
 RobustnessCounters::Snapshot RobustnessCounters::Read() const {
   Snapshot s;
   s.estimator_fallbacks = estimator_fallbacks_.load(std::memory_order_relaxed);
   s.faults_injected = faults_injected_.load(std::memory_order_relaxed);
   s.selection_timeouts = selection_timeouts_.load(std::memory_order_relaxed);
+  s.rewrite_fallbacks = rewrite_fallbacks_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -49,6 +54,7 @@ void RobustnessCounters::Reset() {
   estimator_fallbacks_.store(0, std::memory_order_relaxed);
   faults_injected_.store(0, std::memory_order_relaxed);
   selection_timeouts_.store(0, std::memory_order_relaxed);
+  rewrite_fallbacks_.store(0, std::memory_order_relaxed);
 }
 
 RobustnessCounters& GlobalRobustness() {
@@ -78,6 +84,52 @@ void SelectionCounters::Reset() {
 
 SelectionCounters& GlobalSelection() {
   static SelectionCounters counters;
+  return counters;
+}
+
+void ViewStoreCounters::RecordEviction(uint64_t bytes) {
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+  evicted_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+void ViewStoreCounters::RecordAdmissionRejected() {
+  admissions_rejected_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ViewStoreCounters::RecordAsyncBuild() {
+  async_builds_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ViewStoreCounters::RecordRecoveredView() {
+  recovered_views_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ViewStoreCounters::RecordTornWalTail() {
+  torn_wal_tails_.fetch_add(1, std::memory_order_relaxed);
+}
+
+ViewStoreCounters::Snapshot ViewStoreCounters::Read() const {
+  Snapshot s;
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.evicted_bytes = evicted_bytes_.load(std::memory_order_relaxed);
+  s.admissions_rejected = admissions_rejected_.load(std::memory_order_relaxed);
+  s.async_builds = async_builds_.load(std::memory_order_relaxed);
+  s.recovered_views = recovered_views_.load(std::memory_order_relaxed);
+  s.torn_wal_tails = torn_wal_tails_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ViewStoreCounters::Reset() {
+  evictions_.store(0, std::memory_order_relaxed);
+  evicted_bytes_.store(0, std::memory_order_relaxed);
+  admissions_rejected_.store(0, std::memory_order_relaxed);
+  async_builds_.store(0, std::memory_order_relaxed);
+  recovered_views_.store(0, std::memory_order_relaxed);
+  torn_wal_tails_.store(0, std::memory_order_relaxed);
+}
+
+ViewStoreCounters& GlobalViewStore() {
+  static ViewStoreCounters counters;
   return counters;
 }
 

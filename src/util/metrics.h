@@ -53,10 +53,16 @@ class RobustnessCounters {
   /// best-so-far incumbent.
   void RecordTimeout();
 
+  /// One Rewrite/RewriteAll call that matched a view whose backing table
+  /// was concurrently evicted/dropped and fell back to the base-table
+  /// plan instead of failing the query.
+  void RecordRewriteFallback();
+
   struct Snapshot {
     uint64_t estimator_fallbacks = 0;
     uint64_t faults_injected = 0;
     uint64_t selection_timeouts = 0;
+    uint64_t rewrite_fallbacks = 0;
   };
   Snapshot Read() const;
 
@@ -70,6 +76,7 @@ class RobustnessCounters {
   std::atomic<uint64_t> estimator_fallbacks_{0};
   std::atomic<uint64_t> faults_injected_{0};
   std::atomic<uint64_t> selection_timeouts_{0};
+  std::atomic<uint64_t> rewrite_fallbacks_{0};
 };
 
 /// The process-wide robustness counters.
@@ -109,6 +116,58 @@ class SelectionCounters {
 
 /// The process-wide selection-work counters.
 SelectionCounters& GlobalSelection();
+
+/// \brief Lock-free counters of the budgeted view store, so a run can
+/// report *how* the cache behaved — not just the final contents: budget
+/// evictions, admissions the budget rejected outright, background
+/// builds, and WAL recovery outcomes. A process-wide instance is
+/// reachable via GlobalViewStore() (the loadgen JSON reports it).
+class ViewStoreCounters {
+ public:
+  /// One view dropped by the eviction policy to make room (`bytes` is
+  /// its stored size, accumulated into evicted_bytes).
+  void RecordEviction(uint64_t bytes);
+
+  /// One Materialize the budget rejected outright (view larger than the
+  /// whole budget, or every resident view pinned).
+  void RecordAdmissionRejected();
+
+  /// One (re)materialization executed on the background pool.
+  void RecordAsyncBuild();
+
+  /// One committed view restored by Recover() replay.
+  void RecordRecoveredView();
+
+  /// One torn / checksum-failed WAL tail discarded by replay.
+  void RecordTornWalTail();
+
+  struct Snapshot {
+    uint64_t evictions = 0;
+    uint64_t evicted_bytes = 0;
+    uint64_t admissions_rejected = 0;
+    uint64_t async_builds = 0;
+    uint64_t recovered_views = 0;
+    uint64_t torn_wal_tails = 0;
+  };
+  Snapshot Read() const;
+
+  /// Zeroes every counter (tests, benches).
+  void Reset();
+
+ private:
+  // Relaxed (see util/annotations.h conventions): bumped under the
+  // store mutex or from pool workers; only per-counter totals matter,
+  // no cross-counter ordering is promised.
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> evicted_bytes_{0};
+  std::atomic<uint64_t> admissions_rejected_{0};
+  std::atomic<uint64_t> async_builds_{0};
+  std::atomic<uint64_t> recovered_views_{0};
+  std::atomic<uint64_t> torn_wal_tails_{0};
+};
+
+/// The process-wide view-store counters.
+ViewStoreCounters& GlobalViewStore();
 
 /// \brief Streaming mean / variance / min / max accumulator (Welford).
 class RunningStat {

@@ -6,6 +6,7 @@
 #include "engine/view_store.h"
 #include "plan/builder.h"
 #include "plan/canonical.h"
+#include "util/metrics.h"
 #include "util/random.h"
 
 namespace autoview {
@@ -335,7 +336,7 @@ TEST_F(EngineTest, RewriteWithUnrelatedViewIsNoOp) {
   EXPECT_TRUE(rewritten.value()->Equals(*query));
 }
 
-TEST_F(EngineTest, RewriteAfterViewDroppedFails) {
+TEST_F(EngineTest, RewriteAfterViewDroppedFallsBackToBaseTables) {
   auto query = MustBuild(kFig2Sql);
   auto s3 = query->child(0);
   Executor exec(&db_);
@@ -345,9 +346,19 @@ TEST_F(EngineTest, RewriteAfterViewDroppedFails) {
   MaterializedView copy = *view.value();  // descriptor outlives the drop
   ASSERT_TRUE(store.Drop(view.value()->id).ok());
   Rewriter rewriter(&db_.catalog());
+  GlobalRobustness().Reset();
   bool changed = false;
-  // The backing table is gone, so building the replacement scan fails.
-  EXPECT_FALSE(rewriter.Rewrite(query, copy, &changed).ok());
+  // The backing table is gone: the matched subtree keeps its base-table
+  // form (no substitution, no dangling scan) and the fallback is
+  // counted — the query still answers correctly.
+  auto rewritten = rewriter.Rewrite(query, copy, &changed);
+  ASSERT_TRUE(rewritten.ok()) << rewritten.status().ToString();
+  EXPECT_FALSE(changed);
+  EXPECT_TRUE(rewritten.value()->Equals(*query));
+  EXPECT_EQ(GlobalRobustness().Read().rewrite_fallbacks, 1u);
+  auto original = MustExecute(query);
+  auto after = MustExecute(rewritten.value());
+  EXPECT_TRUE(TablesEqualUnordered(original.table, after.table));
 }
 
 TEST_F(EngineTest, SpillPenaltyKicksInAboveThreshold) {

@@ -44,6 +44,7 @@ TEST(LoadGenConfigTest, EveryFieldRoundTrips) {
   config.max_requests = 17;
   config.select_iterations = 11;
   config.select_timeout_s = 2.5;
+  config.view_budget_bytes = 8192;
   config.csv_file = "out.csv";
   config.json_file = "out.json";
   const auto parsed = ParseLoadGenArgs(ToArgs(config));
@@ -166,6 +167,26 @@ TEST(LoadGenRunTest, ScheduledRunIsDeterministicInRequestCount) {
   EXPECT_EQ(one.value().csr_bytes, four.value().csr_bytes);
 }
 
+TEST(LoadGenRunTest, BudgetedStoreServesEveryRequestWithinBudget) {
+  LoadGenConfig config;
+  config.workload = "WK1";
+  config.scale = 0.15;
+  config.max_requests = 6;
+  config.select_iterations = 20;
+  config.select_timeout_s = 10.0;
+  config.clients = 2;
+  config.view_budget_bytes = 1;  // nothing fits: every view is rejected
+
+  const auto run = RunLoadGen(config);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  // The store respected the budget and every query still succeeded
+  // (evicted/rejected views degrade to base-table serving).
+  EXPECT_LE(run.value().store_bytes, config.view_budget_bytes);
+  EXPECT_EQ(run.value().store_views, 0u);
+  EXPECT_EQ(run.value().failed_requests, 0u);
+  EXPECT_EQ(run.value().requests, 12u);
+}
+
 // ---------------------------------------------------------------------
 // Golden CSV/JSON.
 
@@ -191,6 +212,12 @@ LoadGenResult FixtureResult() {
   r.peak_rss_mb = 10.5;
   r.select_utility = 0.0625;
   r.select_timed_out = false;
+  r.view_budget_bytes = 65536;
+  r.store_bytes = 4096;
+  r.store_views = 3;
+  r.evictions = 2;
+  r.rewrite_fallbacks = 1;
+  r.failed_requests = 0;
   return r;
 }
 
@@ -205,7 +232,10 @@ TEST(LoadGenWriterTest, GoldenJson) {
       "\"qps\": 1280.00, \"p50_ms\": 0.500, \"p95_ms\": 1.250, "
       "\"p99_ms\": 2.500, \"mean_ms\": 0.625, \"csr_shards\": 2, "
       "\"csr_bytes\": 150, \"peak_rss_mb\": 10.5, "
-      "\"select_utility\": 0.0625, \"select_timed_out\": false}\n"
+      "\"select_utility\": 0.0625, \"select_timed_out\": false, "
+      "\"view_budget_bytes\": 65536, \"store_bytes\": 4096, "
+      "\"store_views\": 3, \"evictions\": 2, "
+      "\"rewrite_fallbacks\": 1, \"failed_requests\": 0}\n"
       "  ]\n"
       "}\n";
   EXPECT_EQ(ThroughputJson({FixtureResult()}), expected);
@@ -215,9 +245,11 @@ TEST(LoadGenWriterTest, GoldenCsv) {
   const std::string expected =
       "workload,mode,queries,tables,candidates,selected,clients,seed,"
       "requests,elapsed_s,qps,p50_ms,p95_ms,p99_ms,mean_ms,csr_shards,"
-      "csr_bytes,peak_rss_mb,select_utility,select_timed_out\n"
+      "csr_bytes,peak_rss_mb,select_utility,select_timed_out,"
+      "view_budget_bytes,store_bytes,store_views,evictions,"
+      "rewrite_fallbacks,failed_requests\n"
       "WK1,scaled,48,24,6,3,4,12345,80,0.062,1280.00,0.500,1.250,2.500,"
-      "0.625,2,150,10.5,0.0625,0\n";
+      "0.625,2,150,10.5,0.0625,0,65536,4096,3,2,1,0\n";
   EXPECT_EQ(ThroughputCsv({FixtureResult()}), expected);
 }
 

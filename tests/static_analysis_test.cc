@@ -18,6 +18,12 @@
 
 #include "core/metadata.h"
 #include "costmodel/fallback.h"
+#include "engine/database.h"
+#include "engine/executor.h"
+#include "engine/rewriter.h"
+#include "engine/view_store.h"
+#include "plan/builder.h"
+#include "plan/canonical.h"
 #include "util/failpoint.h"
 #include "util/logging.h"
 #include "util/metrics.h"
@@ -205,6 +211,165 @@ TEST(StaticAnalysisRuntime, FallbackDegradeRacesEstimateSafely) {
   flipper.join();
   SetLogLevel(saved_level);
   EXPECT_TRUE(guarded.degraded());
+}
+
+TEST(StaticAnalysisRuntime, ViewStoreEvictionRecoveryHammer) {
+  // The budgeted store's full concurrent surface at once: materialize
+  // (sync + async), utility-per-byte eviction, pin/serve/release,
+  // drop, and rewrite-with-fallback — all racing on one store — then a
+  // crash-recovery pass over the WAL the melee produced.
+  Database db;
+  std::vector<Row> rows;
+  for (int64_t k = 0; k < 8; ++k) {
+    for (int64_t n = 0; n < (k + 1) * 2; ++n) {
+      rows.push_back({Value(k), Value("h" + std::to_string(k * 100 + n))});
+    }
+  }
+  ASSERT_TRUE(db.AddTable(TableSchema("ht", {{"k", ColumnType::kInt64},
+                                             {"v", ColumnType::kString}}),
+                          std::move(rows))
+                  .ok());
+  ASSERT_TRUE(db.ComputeAllStats().ok());
+
+  // Plans are built before the melee: planning is single-threaded by
+  // contract; only execution/DDL may race.
+  PlanBuilder builder(&db.catalog());
+  std::vector<PlanNodePtr> plans;
+  for (int k = 0; k < 8; ++k) {
+    auto plan = builder.BuildFromSql("SELECT k, v FROM ht WHERE k = " +
+                                     std::to_string(k));
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    plans.push_back(plan.value());
+  }
+
+  const std::string wal =
+      ::testing::TempDir() + "/static_analysis_view_store.wal";
+  std::remove(wal.c_str());
+  Executor exec(&db);
+  ThreadPool pool(4);
+  ViewStoreOptions options;
+  options.budget_bytes = 2048;  // tight: forces continual eviction
+  options.wal_path = wal;
+  options.pool = &pool;
+  MaterializedViewStore store(&db, options);
+  Rewriter rewriter(&db.catalog());
+
+  constexpr int kHammerIters = 200;
+  std::atomic<uint64_t> served{0};
+  Hammer([&](int t) {
+    for (int i = 0; i < kHammerIters; ++i) {
+      const size_t j = static_cast<size_t>(t + i) % plans.size();
+      switch ((t + i) % 4) {
+        case 0: {
+          MaterializeOptions mopts;
+          mopts.utility = static_cast<double>((t * 31 + i) % 7) + 0.5;
+          const auto r = store.Materialize(plans[j], exec, mopts);
+          if (!r.ok()) {
+            ASSERT_TRUE(r.status().code() == StatusCode::kAlreadyExists ||
+                        r.status().code() == StatusCode::kResourceExhausted)
+                << r.status().ToString();
+          }
+          break;
+        }
+        case 1: {
+          // Pin, serve every pinned view through the rewriter (a
+          // concurrently evicted view must degrade to the base plan,
+          // never fail), release.
+          ViewSetSnapshot snapshot = store.PinLive();
+          for (const MaterializedView* view : snapshot.views()) {
+            bool changed = false;
+            auto rewritten = rewriter.Rewrite(plans[j], *view, &changed);
+            ASSERT_TRUE(rewritten.ok()) << rewritten.status().ToString();
+            auto result = exec.Execute(*rewritten.value());
+            ASSERT_TRUE(result.ok()) << result.status().ToString();
+            served.fetch_add(1, std::memory_order_relaxed);
+          }
+          snapshot.Release();
+          break;
+        }
+        case 2: {
+          const MaterializedView* view =
+              store.FindByKey(CanonicalKey(*plans[j]));
+          if (view != nullptr) {
+            const Status s = store.Drop(view->id);
+            ASSERT_TRUE(s.ok() || s.code() == StatusCode::kNotFound)
+                << s.ToString();
+          }
+          break;
+        }
+        default: {
+          // Fire-and-forget async build; WaitIdle() below is the sync.
+          store.MaterializeAsync(plans[j], exec);
+          break;
+        }
+      }
+      ASSERT_LE(store.bytes_used(), options.budget_bytes);
+    }
+  });
+  store.WaitIdle();
+  EXPECT_GT(served.load(), 0u);
+  EXPECT_LE(store.bytes_used(), options.budget_bytes);
+
+  // Quiescent consistency: with every pin released, no doomed entries
+  // linger — the live set accounts for every budgeted byte, and every
+  // live view's backing table is still registered.
+  {
+    ViewSetSnapshot snapshot = store.PinLive();
+    uint64_t live_bytes = 0;
+    for (const MaterializedView* view : snapshot.views()) {
+      EXPECT_TRUE(db.HasTable(view->table_name)) << view->table_name;
+      live_bytes += view->byte_size;
+    }
+    EXPECT_EQ(live_bytes, store.bytes_used());
+    snapshot.Release();
+  }
+
+  // Crash-recovery over the WAL the hammer wrote: the committed state
+  // must rebuild cleanly into a fresh database.
+  Database db2;
+  std::vector<Row> rows2;
+  for (int64_t k = 0; k < 8; ++k) {
+    for (int64_t n = 0; n < (k + 1) * 2; ++n) {
+      rows2.push_back({Value(k), Value("h" + std::to_string(k * 100 + n))});
+    }
+  }
+  ASSERT_TRUE(db2.AddTable(TableSchema("ht", {{"k", ColumnType::kInt64},
+                                              {"v", ColumnType::kString}}),
+                           std::move(rows2))
+                  .ok());
+  ASSERT_TRUE(db2.ComputeAllStats().ok());
+  PlanBuilder builder2(&db2.catalog());
+  std::vector<PlanNodePtr> plans2;
+  for (int k = 0; k < 8; ++k) {
+    plans2.push_back(builder2
+                         .BuildFromSql("SELECT k, v FROM ht WHERE k = " +
+                                       std::to_string(k))
+                         .value());
+  }
+  Executor exec2(&db2);
+  ViewStoreOptions recover_options;
+  recover_options.wal_path = wal;
+  MaterializedViewStore recovered(&db2, recover_options);
+  auto report = recovered.Recover(
+      exec2,
+      [&plans2](const std::string& key) -> PlanNodePtr {
+        for (const PlanNodePtr& plan : plans2) {
+          if (CanonicalKey(*plan) == key) return plan;
+        }
+        return nullptr;
+      },
+      /*background=*/false);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report.value().failed, 0u);
+  EXPECT_EQ(recovered.size(), report.value().committed_views);
+  {
+    ViewSetSnapshot snapshot = recovered.PinLive();
+    for (const MaterializedView* view : snapshot.views()) {
+      EXPECT_TRUE(db2.HasTable(view->table_name));
+    }
+    snapshot.Release();
+  }
+  std::remove(wal.c_str());
 }
 
 }  // namespace
