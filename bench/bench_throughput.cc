@@ -34,14 +34,23 @@ int Run(int argc, char** argv) {
     const char* workload;
     bool full;
     uint64_t view_budget_bytes;  // 0 = unlimited store
+    bool online = false;         // serve through the OnlineAdvisor
+    const char* drift = "";      // request-mix drift (online rows)
   };
   // The third row reruns WK1 under a deliberately tight view-store
   // budget — about half the ~110 KB the unlimited WK1-scaled store
   // occupies — showing the utility-per-byte eviction path end to end
   // (store bytes stay <= budget, evicted views degrade to base-table
-  // serving, zero failed requests).
-  std::vector<Row> rows = {
-      {"WK1", false, 0}, {"WK2", false, 0}, {"WK1", false, 48 * 1024}};
+  // serving, zero failed requests). The last two rows serve WK1 through
+  // the online advisor — stationary and under churn drift — so the
+  // streaming ingest -> incremental re-clustering/re-indexing ->
+  // warm-started re-selection -> generation hot-swap loop runs end to
+  // end (reselections/swaps_committed > 0, zero failed requests).
+  std::vector<Row> rows = {{"WK1", false, 0},
+                           {"WK2", false, 0},
+                           {"WK1", false, 48 * 1024},
+                           {"WK1", false, 0, true, ""},
+                           {"WK1", false, 0, true, "churn"}};
   if (full_too) {
     rows.push_back({"WK1", true, 0});
     rows.push_back({"WK2", true, 0});
@@ -57,6 +66,14 @@ int Run(int argc, char** argv) {
           "--view_budget_bytes=%llu",
           static_cast<unsigned long long>(row.view_budget_bytes)));
     }
+    if (row.online) {
+      // Online rows run the deterministic scheduled mode (drift progress
+      // is schedule position) with a short per-epoch re-selection.
+      args.push_back("--online=true");
+      args.push_back(StrFormat("--drift=%s", row.drift));
+      args.push_back("--max_requests=100");
+      args.push_back("--advisor_epoch=25");
+    }
     Result<LoadGenConfig> config = ParseLoadGenArgs(args);
     if (!config.ok()) {
       std::fprintf(stderr, "bad flags: %s\n",
@@ -68,8 +85,10 @@ int Run(int argc, char** argv) {
     if (row.full && config.value().max_requests == 0) {
       config.value().max_requests = 25;
     }
-    std::fprintf(stderr, "[bench_throughput] %s %s ...\n", row.workload,
-                 row.full ? "full" : "scaled");
+    std::fprintf(stderr, "[bench_throughput] %s %s%s%s ...\n", row.workload,
+                 row.full ? "full" : "scaled",
+                 row.online ? " online" : "",
+                 row.online && row.drift[0] != '\0' ? " drift" : "");
     Result<LoadGenResult> result = RunLoadGen(config.value());
     if (!result.ok()) {
       std::fprintf(stderr, "loadgen failed: %s\n",

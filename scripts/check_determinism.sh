@@ -38,6 +38,13 @@
 #                           place the engine touches disk, so crash
 #                           injection (viewstore.wal_append/wal_replay)
 #                           provably covers every engine write path
+#   advisor-clock-seam      src/core/advisor.* must never read ambient
+#                           time: no std::chrono / steady_clock /
+#                           system_clock and no self-made Deadline —
+#                           deadlines flow exclusively through the
+#                           injected autoview::Clock (util/clock.h), so
+#                           a ManualClock replay of an ingest/trigger/
+#                           re-selection sequence stays bit-reproducible
 #
 # Exit: 0 clean, 1 violations (never skips — needs only POSIX sh).
 set -u
@@ -91,6 +98,23 @@ for f in $(av_src_files); do
         grep -vE 'Rng[[:space:]]+[A-Za-z_]+\([^)]*[Ss]eed') || continue
   while IFS= read -r line; do
     av_fail "$rel" "${line%%:*}" "${line#*:}" 'loadgen-seed-flow'
+  done <<EOF
+$out
+EOF
+done
+
+# Advisor clock seam: the online advisor's trigger/re-selection path is
+# replayable only because every deadline comes from the injected Clock.
+# A direct chrono read or a Deadline constructed in place (AfterMillis/
+# AfterSeconds/Infinite) would bypass the seam and make ManualClock
+# replays diverge from production runs.
+for f in $(av_src_files); do
+  rel=${f#"$av_root"/}
+  case "$rel" in src/core/advisor.h | src/core/advisor.cc) ;; *) continue ;; esac
+  out=$(av_strip_comments "$f" |
+        grep -nE 'std::chrono|steady_clock|system_clock|Deadline::(AfterMillis|AfterSeconds|Infinite)') || continue
+  while IFS= read -r line; do
+    av_fail "$rel" "${line%%:*}" "${line#*:}" 'advisor-clock-seam'
   done <<EOF
 $out
 EOF

@@ -25,12 +25,14 @@ case "$mode" in
     sanitize=address
     # loadgen_test covers the varint/shard encode-decode path and the
     # end-to-end serving loop (parse/rewrite/execute under churn);
-    # view_store_test the WAL torn-tail/rollback and eviction paths.
-    suites="failpoint_test deadline_test persistence_test loadgen_test view_store_test"
+    # view_store_test the WAL torn-tail/rollback and eviction paths;
+    # advisor_test the streaming ingest/retire/re-index mutation paths
+    # (tail renumbering, column shifts) and the swap lifecycle.
+    suites="failpoint_test deadline_test persistence_test loadgen_test view_store_test advisor_test"
     ;;
   ubsan)
     sanitize=undefined
-    suites="failpoint_test deadline_test persistence_test sql_parser_test plan_test loadgen_test view_store_test"
+    suites="failpoint_test deadline_test persistence_test sql_parser_test plan_test loadgen_test view_store_test advisor_test"
     ;;
   tsan)
     sanitize=thread
@@ -38,8 +40,9 @@ case "$mode" in
     # pool sizes (shared MvsProblemIndex read by concurrent trials);
     # subquery_test the chunked/streaming clusterer (parallel extraction
     # and bucketed overlap); loadgen_test the multi-client serving loop;
-    # view_store_test pins/evictions/async builds racing on the store.
-    suites="thread_pool_test static_analysis_test parallel_determinism_test problem_index_test subquery_test loadgen_test view_store_test"
+    # view_store_test pins/evictions/async builds racing on the store;
+    # advisor_test concurrent pinned serving racing generation hot swaps.
+    suites="thread_pool_test static_analysis_test parallel_determinism_test problem_index_test subquery_test loadgen_test view_store_test advisor_test"
     ;;
   *)
     echo "usage: $0 asan|ubsan|tsan" >&2

@@ -12,6 +12,7 @@
 #include <numeric>
 #include <utility>
 
+#include "core/advisor.h"
 #include "core/streaming_problem.h"
 #include "engine/executor.h"
 #include "engine/rewriter.h"
@@ -21,6 +22,7 @@
 #include "select/iterview.h"
 #include "subquery/clusterer.h"
 #include "util/metrics.h"
+#include "util/parse.h"
 #include "util/random.h"
 #include "util/strings.h"
 #include "util/thread_pool.h"
@@ -41,21 +43,20 @@ Status ParseFlag(const std::string& arg, LoadGenConfig* config) {
                                             : eq - 2);
   const std::string value =
       eq == std::string::npos ? "" : arg.substr(eq + 1);
+  // Strict whole-string parsing (util/parse.h): signs on unsigned
+  // flags, trailing junk, and overflow are all errors instead of the
+  // silent wrap/truncate the strtoull family allowed.
   auto parse_u64 = [&](uint64_t* out) {
-    char* end = nullptr;
-    *out = std::strtoull(value.c_str(), &end, 10);
-    return end != value.c_str() && *end == '\0'
-               ? Status::OK()
-               : Status::InvalidArgument("bad integer for --" + key + ": " +
-                                         value);
+    const Status status = ParseUint64(value, out);
+    return status.ok() ? status
+                       : Status::InvalidArgument("bad integer for --" + key +
+                                                 ": " + value);
   };
   auto parse_double = [&](double* out) {
-    char* end = nullptr;
-    *out = std::strtod(value.c_str(), &end);
-    return end != value.c_str() && *end == '\0'
-               ? Status::OK()
-               : Status::InvalidArgument("bad number for --" + key + ": " +
-                                         value);
+    const Status status = ParseDouble(value, out);
+    return status.ok() ? status
+                       : Status::InvalidArgument("bad number for --" + key +
+                                                 ": " + value);
   };
 
   uint64_t u = 0;
@@ -84,6 +85,13 @@ Status ParseFlag(const std::string& arg, LoadGenConfig* config) {
     AV_RETURN_NOT_OK(parse_double(&config->select_timeout_s));
   } else if (key == "view_budget_bytes") {
     AV_RETURN_NOT_OK(parse_u64(&config->view_budget_bytes));
+  } else if (key == "drift") {
+    config->drift = value;
+  } else if (key == "online") {
+    config->online = value.empty() || value == "true" || value == "1";
+  } else if (key == "advisor_epoch") {
+    AV_RETURN_NOT_OK(parse_u64(&u));
+    config->advisor_epoch = u;
   } else if (key == "csv") {
     config->csv_file = value;
   } else if (key == "json") {
@@ -108,6 +116,18 @@ Result<LoadGenConfig> ParseLoadGenArgs(const std::vector<std::string>& args) {
     return Status::InvalidArgument("--workload must be WK1 or WK2, got: " +
                                    config.workload);
   }
+  if (config.drift != "" && config.drift != "churn" &&
+      config.drift != "shift" && config.drift != "adhoc") {
+    return Status::InvalidArgument(
+        "--drift must be churn, shift, or adhoc, got: " + config.drift);
+  }
+  if (!config.drift.empty() && config.max_requests == 0) {
+    return Status::InvalidArgument(
+        "--drift requires --max_requests (progress is schedule position)");
+  }
+  if (config.advisor_epoch == 0) {
+    return Status::InvalidArgument("--advisor_epoch must be positive");
+  }
   return config;
 }
 
@@ -129,6 +149,9 @@ std::vector<std::string> ToArgs(const LoadGenConfig& config) {
   args.push_back(StrFormat(
       "--view_budget_bytes=%llu",
       static_cast<unsigned long long>(config.view_budget_bytes)));
+  args.push_back("--drift=" + config.drift);
+  args.push_back(StrFormat("--online=%s", config.online ? "true" : "false"));
+  args.push_back(StrFormat("--advisor_epoch=%zu", config.advisor_epoch));
   args.push_back("--csv=" + config.csv_file);
   args.push_back("--json=" + config.json_file);
   return args;
@@ -147,17 +170,47 @@ double Percentile(const std::vector<double>& sorted, double p) {
 
 std::vector<std::vector<size_t>> BuildSchedule(uint64_t seed, int clients,
                                                size_t per_client,
-                                               size_t num_queries) {
+                                               size_t num_queries,
+                                               const std::string& drift) {
   std::vector<std::vector<size_t>> schedule(
       static_cast<size_t>(std::max(clients, 0)));
   if (num_queries == 0) return schedule;
+  const size_t nq = num_queries;
   for (int c = 0; c < clients; ++c) {
     Rng rng(Rng::StreamSeed(seed, static_cast<uint64_t>(c)));
     auto& reqs = schedule[static_cast<size_t>(c)];
     reqs.reserve(per_client);
     for (size_t n = 0; n < per_client; ++n) {
-      reqs.push_back(static_cast<size_t>(
-          rng.UniformInt(0, static_cast<int64_t>(num_queries) - 1)));
+      size_t qi = 0;
+      if (drift == "churn") {
+        // Rotating quarter: phase p of 4 draws only from
+        // [p*nq/4, (p+1)*nq/4) — the active set fully churns between
+        // phases.
+        const size_t phase = std::min<size_t>(3, 4 * n / per_client);
+        const size_t lo = phase * nq / 4;
+        const size_t hi = std::max(lo + 1, (phase + 1) * nq / 4);
+        qi = lo + static_cast<size_t>(rng.UniformInt(
+                      0, static_cast<int64_t>(hi - lo) - 1));
+      } else if (drift == "shift") {
+        // A Zipf(1.2) hot spot whose head slides across the whole query
+        // space as the schedule progresses.
+        const size_t hot = n * nq / per_client;
+        qi = (hot + static_cast<size_t>(
+                        rng.Zipf(static_cast<int64_t>(nq), 1.2))) %
+             nq;
+      } else if (drift == "adhoc") {
+        // Half the traffic pins a fixed nq/8 head (stable, cacheable);
+        // the other half is one-off uniform noise.
+        const size_t head = std::max<size_t>(1, nq / 8);
+        qi = static_cast<size_t>(
+            rng.Bernoulli(0.5)
+                ? rng.UniformInt(0, static_cast<int64_t>(head) - 1)
+                : rng.UniformInt(0, static_cast<int64_t>(nq) - 1));
+      } else {
+        qi = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(nq) - 1));
+      }
+      reqs.push_back(qi);
     }
   }
   return schedule;
@@ -172,9 +225,9 @@ size_t PeakRssBytes() {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
+using SteadyClock = std::chrono::steady_clock;
 
-double SecondsBetween(Clock::time_point a, Clock::time_point b) {
+double SecondsBetween(SteadyClock::time_point a, SteadyClock::time_point b) {
   return std::chrono::duration<double>(b - a).count();
 }
 
@@ -189,11 +242,24 @@ struct ClientTask {
   const Executor* executor = nullptr;
   const std::vector<const MaterializedView*>* views = nullptr;
 
+  /// Online mode: every request is ingested into the advisor (which may
+  /// re-select and hot-swap `store` right here), then served from a
+  /// freshly pinned snapshot so committed swaps become visible.
+  OnlineAdvisor* advisor = nullptr;
+  MaterializedViewStore* store = nullptr;
+
   std::vector<double> latencies;
   size_t errors = 0;
 
   void Serve(size_t query_index) {
-    const auto start = Clock::now();
+    if (advisor != nullptr) {
+      // Outside the timed section: the swap happens on this (client)
+      // thread, but other clients keep serving from their pins — the
+      // measured latency is the request itself, which never blocks on a
+      // re-selection.
+      advisor->IngestSql(workload->sql[query_index]).status();
+    }
+    const auto start = SteadyClock::now();
     PlanBuilder builder(&workload->db->catalog());
     Result<PlanNodePtr> plan =
         builder.BuildFromSql(workload->sql[query_index]);
@@ -201,9 +267,15 @@ struct ClientTask {
       ++errors;
       return;
     }
+    ViewSetSnapshot pin;
+    const std::vector<const MaterializedView*>* view_set = views;
+    if (store != nullptr) {
+      pin = store->PinLive();
+      view_set = &pin.views();
+    }
     size_t substitutions = 0;
     Result<PlanNodePtr> rewritten =
-        rewriter->RewriteAll(plan.value(), *views, &substitutions);
+        rewriter->RewriteAll(plan.value(), *view_set, &substitutions);
     if (!rewritten.ok()) {
       ++errors;
       return;
@@ -213,7 +285,7 @@ struct ClientTask {
       ++errors;
       return;
     }
-    latencies.push_back(1e3 * SecondsBetween(start, Clock::now()));
+    latencies.push_back(1e3 * SecondsBetween(start, SteadyClock::now()));
   }
 
   void RunScheduled(const std::vector<size_t>& schedule) {
@@ -221,14 +293,14 @@ struct ClientTask {
     for (size_t qi : schedule) Serve(qi);
   }
 
-  void RunTimed(uint64_t client_seed, Clock::time_point record_from,
-                Clock::time_point stop_at) {
+  void RunTimed(uint64_t client_seed, SteadyClock::time_point record_from,
+                SteadyClock::time_point stop_at) {
     Rng rng(client_seed);
     const size_t nq = workload->sql.size();
-    while (Clock::now() < stop_at) {
+    while (SteadyClock::now() < stop_at) {
       const size_t qi = static_cast<size_t>(
           rng.UniformInt(0, static_cast<int64_t>(nq) - 1));
-      const bool record = Clock::now() >= record_from;
+      const bool record = SteadyClock::now() >= record_from;
       const size_t before = latencies.size();
       Serve(qi);
       if (!record && latencies.size() > before) latencies.pop_back();
@@ -262,73 +334,97 @@ Result<LoadGenResult> RunLoadGen(const LoadGenConfig& config) {
     return Status::InvalidArgument("empty workload");
   }
 
-  // 2. Cluster (streaming: plans stay transient) and build the
-  // compressed benefit matrix in bounded shards. query_fn re-parses on
-  // demand — the re-invocable contract of the streaming paths.
-  PlanBuilder plan_builder(&workload.db->catalog());
-  const auto query_fn = [&workload](size_t qi) -> PlanNodePtr {
-    PlanBuilder builder(&workload.db->catalog());
-    Result<PlanNodePtr> plan = builder.BuildFromSql(workload.sql[qi]);
-    return plan.ok() ? std::move(plan).value() : nullptr;
-  };
-  SubqueryClusterer clusterer;
-  WorkloadAnalysis analysis =
-      clusterer.AnalyzeStreaming(workload.sql.size(), query_fn);
-  result.num_candidates = analysis.candidates.size();
-
-  StreamingProblemOptions problem_options;
-  AV_ASSIGN_OR_RETURN(StreamingProblem problem,
-                      BuildStreamingProblem(workload.db->catalog(), analysis,
-                                            query_fn, problem_options));
-  result.csr_shards = problem.compact.rows.num_shards();
-  result.csr_bytes = problem.compact.rows.byte_size();
-
-  // 3. Deadline-bounded incremental selection straight off the shards.
-  const MvsProblemIndex index(problem.compact);
-  IterViewSelector::Options select_options;
-  select_options.iterations = config.select_iterations;
-  select_options.seed = config.seed;
-  if (config.select_timeout_s > 0) {
-    select_options.deadline =
-        Deadline::AfterMillis(1e3 * config.select_timeout_s);
-  }
-  IterViewSelector selector(select_options);
-  AV_ASSIGN_OR_RETURN(MvsSolution solution, selector.SelectIndexed(index));
-  result.select_utility = solution.utility;
-  result.select_timed_out = solution.timed_out;
-
-  // 4. Materialize the chosen views into a budgeted store, each scored
-  // with its solver utility so any forced eviction keeps the strongest
-  // utility-per-byte views. A view the budget rejects outright is
-  // skipped — its queries serve from base tables. Store counters are
-  // reported as deltas so concurrent runs in one process stay additive.
+  // Store counters are reported as deltas so concurrent runs in one
+  // process stay additive.
   const ViewStoreCounters::Snapshot store_before = GlobalViewStore().Read();
   const RobustnessCounters::Snapshot robust_before = GlobalRobustness().Read();
   Executor executor(workload.db.get());
   ViewStoreOptions store_options;
   store_options.budget_bytes = config.view_budget_bytes;
   result.view_budget_bytes = config.view_budget_bytes;
+  result.drift = config.drift;
+  result.online = config.online;
   MaterializedViewStore store(workload.db.get(), store_options);
-  for (size_t j = 0; j < solution.z.size(); ++j) {
-    if (!solution.z[j]) continue;
-    MaterializeOptions mopts;
-    mopts.utility = index.ViewUtility(j);
-    Result<const MaterializedView*> view =
-        store.Materialize(problem.candidate_plans[j], executor, mopts);
-    if (!view.ok() &&
-        view.status().code() != StatusCode::kResourceExhausted) {
-      return view.status();
-    }
-  }
+  std::unique_ptr<OnlineAdvisor> advisor;
+  ViewSetSnapshot snapshot;
 
-  // Serve from a pinned snapshot: pinned views cannot be physically
-  // dropped mid-request, and views the budget evicted simply are not in
-  // the set.
-  ViewSetSnapshot snapshot = store.PinLive();
-  const std::vector<const MaterializedView*>& selected = snapshot.views();
-  result.num_selected = selected.size();
-  result.store_views = store.size();
-  result.store_bytes = store.bytes_used();
+  if (config.online) {
+    // 2'. Online mode: a live advisor replaces the one-shot cluster ->
+    // build -> select -> materialize pipeline. Clients stream every
+    // request into it; each epoch it re-selects (warm-started, under the
+    // selection deadline) and hot-swaps the store generation while the
+    // other clients keep serving from their pinned snapshots.
+    OnlineAdvisorOptions advisor_options;
+    advisor_options.seed = config.seed;
+    advisor_options.trigger = ReselectTrigger::kQueryEpoch;
+    advisor_options.epoch_queries = config.advisor_epoch;
+    advisor_options.window_queries = 4 * config.advisor_epoch;
+    advisor_options.select_iterations = config.select_iterations;
+    if (config.select_timeout_s > 0) {
+      advisor_options.reselect_budget_ms = 1e3 * config.select_timeout_s;
+    }
+    advisor = std::make_unique<OnlineAdvisor>(workload.db.get(), &store,
+                                              advisor_options);
+  } else {
+    // 2. Cluster (streaming: plans stay transient) and build the
+    // compressed benefit matrix in bounded shards. query_fn re-parses on
+    // demand — the re-invocable contract of the streaming paths.
+    const auto query_fn = [&workload](size_t qi) -> PlanNodePtr {
+      PlanBuilder builder(&workload.db->catalog());
+      Result<PlanNodePtr> plan = builder.BuildFromSql(workload.sql[qi]);
+      return plan.ok() ? std::move(plan).value() : nullptr;
+    };
+    SubqueryClusterer clusterer;
+    WorkloadAnalysis analysis =
+        clusterer.AnalyzeStreaming(workload.sql.size(), query_fn);
+    result.num_candidates = analysis.candidates.size();
+
+    StreamingProblemOptions problem_options;
+    AV_ASSIGN_OR_RETURN(StreamingProblem problem,
+                        BuildStreamingProblem(workload.db->catalog(), analysis,
+                                              query_fn, problem_options));
+    result.csr_shards = problem.compact.rows.num_shards();
+    result.csr_bytes = problem.compact.rows.byte_size();
+
+    // 3. Deadline-bounded incremental selection straight off the shards.
+    const MvsProblemIndex index(problem.compact);
+    IterViewSelector::Options select_options;
+    select_options.iterations = config.select_iterations;
+    select_options.seed = config.seed;
+    if (config.select_timeout_s > 0) {
+      select_options.deadline =
+          Deadline::AfterMillis(1e3 * config.select_timeout_s);
+    }
+    IterViewSelector selector(select_options);
+    AV_ASSIGN_OR_RETURN(MvsSolution solution, selector.SelectIndexed(index));
+    result.select_utility = solution.utility;
+    result.select_timed_out = solution.timed_out;
+
+    // 4. Materialize the chosen views into the budgeted store, each
+    // scored with its solver utility so any forced eviction keeps the
+    // strongest utility-per-byte views. A view the budget rejects
+    // outright is skipped — its queries serve from base tables.
+    for (size_t j = 0; j < solution.z.size(); ++j) {
+      if (!solution.z[j]) continue;
+      MaterializeOptions mopts;
+      mopts.utility = index.ViewUtility(j);
+      Result<const MaterializedView*> view =
+          store.Materialize(problem.candidate_plans[j], executor, mopts);
+      if (!view.ok() &&
+          view.status().code() != StatusCode::kResourceExhausted) {
+        return view.status();
+      }
+    }
+
+    // Serve from a pinned snapshot: pinned views cannot be physically
+    // dropped mid-request, and views the budget evicted simply are not
+    // in the set. (Online mode pins per request instead, so committed
+    // hot swaps become visible mid-run.)
+    snapshot = store.PinLive();
+    result.num_selected = snapshot.views().size();
+    result.store_views = store.size();
+    result.store_bytes = store.bytes_used();
+  }
 
   // 5. Serve: config.clients concurrent clients on the shared pool,
   // each parsing/rewriting/executing its own request stream.
@@ -339,27 +435,30 @@ Result<LoadGenResult> RunLoadGen(const LoadGenConfig& config) {
     task.workload = &workload;
     task.rewriter = &rewriter;
     task.executor = &executor;
-    task.views = &selected;
+    task.views = &snapshot.views();
+    task.advisor = advisor.get();
+    task.store = config.online ? &store : nullptr;
   }
 
   ThreadPool& pool = DefaultPool();
-  Clock::time_point measure_start;
-  Clock::time_point measure_end;
+  SteadyClock::time_point measure_start;
+  SteadyClock::time_point measure_end;
   if (config.max_requests > 0) {
-    const std::vector<std::vector<size_t>> schedule = BuildSchedule(
-        config.seed, clients, config.max_requests, workload.sql.size());
-    measure_start = Clock::now();
+    const std::vector<std::vector<size_t>> schedule =
+        BuildSchedule(config.seed, clients, config.max_requests,
+                      workload.sql.size(), config.drift);
+    measure_start = SteadyClock::now();
     pool.ParallelFor(0, static_cast<size_t>(clients), [&](size_t c) {
       tasks[c].RunScheduled(schedule[c]);
     });
-    measure_end = Clock::now();
+    measure_end = SteadyClock::now();
   } else {
-    const auto start = Clock::now();
+    const auto start = SteadyClock::now();
     const auto record_from =
-        start + std::chrono::duration_cast<Clock::duration>(
+        start + std::chrono::duration_cast<SteadyClock::duration>(
                     std::chrono::duration<double>(config.warmup_s));
     const auto stop_at =
-        record_from + std::chrono::duration_cast<Clock::duration>(
+        record_from + std::chrono::duration_cast<SteadyClock::duration>(
                           std::chrono::duration<double>(config.measure_s));
     measure_start = record_from;
     pool.ParallelFor(0, static_cast<size_t>(clients), [&](size_t c) {
@@ -393,6 +492,18 @@ Result<LoadGenResult> RunLoadGen(const LoadGenConfig& config) {
       static_cast<double>(PeakRssBytes()) / (1024.0 * 1024.0);
   for (const auto& task : tasks) result.failed_requests += task.errors;
   snapshot.Release();
+  if (config.online) {
+    const OnlineAdvisorStats advisor_stats = advisor->stats();
+    result.num_candidates = advisor_stats.candidate_views;
+    result.num_selected = advisor->SelectedKeys().size();
+    result.select_utility = advisor_stats.incumbent_utility;
+    result.select_timed_out = advisor_stats.last_reselect_timed_out;
+    result.ingested = advisor_stats.ingested;
+    result.reselections = advisor_stats.reselections;
+    result.swaps_committed = advisor_stats.swaps_committed;
+    result.store_views = store.size();
+    result.store_bytes = store.bytes_used();
+  }
   result.evictions =
       GlobalViewStore().Read().evictions - store_before.evictions;
   result.rewrite_fallbacks = GlobalRobustness().Read().rewrite_fallbacks -
@@ -421,7 +532,9 @@ std::string ResultJson(const LoadGenResult& r) {
       "\"select_utility\": %.4f, \"select_timed_out\": %s, "
       "\"view_budget_bytes\": %llu, \"store_bytes\": %llu, "
       "\"store_views\": %zu, \"evictions\": %llu, "
-      "\"rewrite_fallbacks\": %llu, \"failed_requests\": %zu}",
+      "\"rewrite_fallbacks\": %llu, \"failed_requests\": %zu, "
+      "\"drift\": \"%s\", \"online\": %s, \"ingested\": %llu, "
+      "\"reselections\": %llu, \"swaps_committed\": %llu}",
       r.workload.c_str(), r.mode.c_str(), r.num_queries, r.num_tables,
       r.num_candidates, r.num_selected, r.clients,
       static_cast<unsigned long long>(r.seed), r.requests, r.elapsed_s,
@@ -432,7 +545,10 @@ std::string ResultJson(const LoadGenResult& r) {
       static_cast<unsigned long long>(r.store_bytes), r.store_views,
       static_cast<unsigned long long>(r.evictions),
       static_cast<unsigned long long>(r.rewrite_fallbacks),
-      r.failed_requests);
+      r.failed_requests, r.drift.c_str(), r.online ? "true" : "false",
+      static_cast<unsigned long long>(r.ingested),
+      static_cast<unsigned long long>(r.reselections),
+      static_cast<unsigned long long>(r.swaps_committed));
 }
 
 }  // namespace
@@ -454,11 +570,13 @@ std::string ThroughputCsv(const std::vector<LoadGenResult>& results) {
       "requests,elapsed_s,qps,p50_ms,p95_ms,p99_ms,mean_ms,csr_shards,"
       "csr_bytes,peak_rss_mb,select_utility,select_timed_out,"
       "view_budget_bytes,store_bytes,store_views,evictions,"
-      "rewrite_fallbacks,failed_requests\n";
+      "rewrite_fallbacks,failed_requests,drift,online,ingested,"
+      "reselections,swaps_committed\n";
   for (const LoadGenResult& r : results) {
     out += StrFormat(
         "%s,%s,%zu,%zu,%zu,%zu,%d,%llu,%zu,%.3f,%.2f,%.3f,%.3f,%.3f,%.3f,"
-        "%zu,%zu,%.1f,%.4f,%d,%llu,%llu,%zu,%llu,%llu,%zu\n",
+        "%zu,%zu,%.1f,%.4f,%d,%llu,%llu,%zu,%llu,%llu,%zu,%s,%d,%llu,%llu,"
+        "%llu\n",
         r.workload.c_str(), r.mode.c_str(), r.num_queries, r.num_tables,
         r.num_candidates, r.num_selected, r.clients,
         static_cast<unsigned long long>(r.seed), r.requests, r.elapsed_s,
@@ -469,7 +587,10 @@ std::string ThroughputCsv(const std::vector<LoadGenResult>& results) {
         static_cast<unsigned long long>(r.store_bytes), r.store_views,
         static_cast<unsigned long long>(r.evictions),
         static_cast<unsigned long long>(r.rewrite_fallbacks),
-        r.failed_requests);
+        r.failed_requests, r.drift.c_str(), r.online ? 1 : 0,
+        static_cast<unsigned long long>(r.ingested),
+        static_cast<unsigned long long>(r.reselections),
+        static_cast<unsigned long long>(r.swaps_committed));
   }
   return out;
 }

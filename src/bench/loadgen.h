@@ -39,6 +39,24 @@ struct LoadGenConfig {
   /// run still completes with zero failed queries.
   uint64_t view_budget_bytes = 0;
 
+  /// Request-mix drift across the schedule ("" = stationary uniform):
+  /// "churn" draws from a rotating quarter of the query space (four
+  /// phases), "shift" slides a Zipf(1.2) hot spot across it with
+  /// progress, "adhoc" sends half the traffic to a fixed nq/8 head and
+  /// the rest uniform. Deterministic — each client's drift stream comes
+  /// from the same seeded Rng stream as the stationary schedule.
+  /// Requires max_requests > 0 (progress = position in the schedule).
+  std::string drift;
+
+  /// Serve through a live OnlineAdvisor instead of the one-shot batch
+  /// pipeline: every request is ingested before being served from a
+  /// freshly pinned store snapshot, so epoch-triggered re-selections
+  /// hot-swap the view set mid-run while serving continues.
+  bool online = false;
+
+  /// Advisor re-selection epoch in queries (online mode only).
+  size_t advisor_epoch = 32;
+
   std::string csv_file;   ///< summary CSV path ("" = skip)
   std::string json_file;  ///< summary JSON path ("" = skip)
 
@@ -50,6 +68,8 @@ struct LoadGenConfig {
            select_iterations == other.select_iterations &&
            select_timeout_s == other.select_timeout_s &&
            view_budget_bytes == other.view_budget_bytes &&
+           drift == other.drift && online == other.online &&
+           advisor_epoch == other.advisor_epoch &&
            csv_file == other.csv_file && json_file == other.json_file;
   }
 };
@@ -93,6 +113,12 @@ struct LoadGenResult {
   uint64_t evictions = 0;          ///< budget evictions during this run
   uint64_t rewrite_fallbacks = 0;  ///< evicted-view rewrite fallbacks
   size_t failed_requests = 0;      ///< requests that returned an error
+
+  std::string drift;             ///< drift mode ("" = stationary)
+  bool online = false;           ///< served through the online advisor
+  uint64_t ingested = 0;         ///< advisor-ingested queries (online)
+  uint64_t reselections = 0;     ///< advisor re-selections (online)
+  uint64_t swaps_committed = 0;  ///< generation hot swaps (online)
 };
 
 /// Nearest-rank percentile (p in [0, 100]) over ascending `sorted`;
@@ -100,12 +126,15 @@ struct LoadGenResult {
 double Percentile(const std::vector<double>& sorted, double p);
 
 /// The deterministic request schedule: client c's requests are drawn
-/// from Rng stream c of `seed`, uniformly over [0, num_queries). The
-/// multiset of scheduled requests depends only on (seed, clients,
-/// per_client, num_queries) — never on the thread count executing it.
-std::vector<std::vector<size_t>> BuildSchedule(uint64_t seed, int clients,
-                                               size_t per_client,
-                                               size_t num_queries);
+/// from Rng stream c of `seed` — uniformly over [0, num_queries) when
+/// `drift` is empty, otherwise per the LoadGenConfig::drift modes
+/// (churn / shift / adhoc), with progress measured by position in the
+/// schedule. The multiset of scheduled requests depends only on (seed,
+/// clients, per_client, num_queries, drift) — never on the thread count
+/// executing it.
+std::vector<std::vector<size_t>> BuildSchedule(
+    uint64_t seed, int clients, size_t per_client, size_t num_queries,
+    const std::string& drift = std::string());
 
 /// Runs the full pipeline for `config`: generate the preset workload,
 /// cluster it (streaming), build the compressed benefit matrix in

@@ -8,24 +8,25 @@
 
 namespace autoview {
 
-namespace {
+ViewEstimates EstimateView(const TraditionalEstimator& estimator,
+                           const CardinalityEstimator& cardinality,
+                           const Pricing& pricing, const PlanNode& plan) {
+  ViewEstimates est;
+  est.subquery_cost = estimator.EstimatePlanCost(plan);
+  est.scan_cost = estimator.EstimateViewScanCost(plan);
+  const double bytes = cardinality.EstimateBytes(plan);
+  est.overhead =
+      pricing.StorageFee(static_cast<uint64_t>(bytes)) + est.subquery_cost;
+  return est;
+}
 
-/// Per-view estimated cost terms, computed once (the counterpart of
-/// CandidateInfo in the execution-based path).
-struct ViewEstimates {
-  double overhead = 0.0;       ///< storage fee + estimated build cost
-  double subquery_cost = 0.0;  ///< A(s), the estimated candidate cost
-  double scan_cost = 0.0;      ///< A(scan v)
-};
-
-/// The RealOpt benefit cell: B = A(q) - (max(0, A(q) - A(s)) + A(scan v)),
-/// matching the `exact_benefits == false` branch of BuildGroundTruth
-/// with estimated terms substituted for measured ones.
-double BenefitCell(double query_cost, const ViewEstimates& view) {
+double RealOptBenefitCell(double query_cost, const ViewEstimates& view) {
   const double rewritten =
       std::max(0.0, query_cost - view.subquery_cost) + view.scan_cost;
   return query_cost - rewritten;
 }
+
+namespace {
 
 struct ViewSide {
   std::vector<ViewEstimates> estimates;
@@ -56,13 +57,9 @@ ViewSide BuildViewSide(const Catalog& catalog,
     const SubqueryCluster& cluster =
         analysis.clusters[analysis.candidates[j]];
     side.plans.push_back(cluster.candidate);
-    ViewEstimates& est = side.estimates[j];
-    est.subquery_cost = estimator.EstimatePlanCost(*cluster.candidate);
-    est.scan_cost = estimator.EstimateViewScanCost(*cluster.candidate);
-    const double bytes = cardinality.EstimateBytes(*cluster.candidate);
-    est.overhead = options.pricing.StorageFee(static_cast<uint64_t>(bytes)) +
-                   est.subquery_cost;
-    side.overhead[j] = est.overhead;
+    side.estimates[j] = EstimateView(estimator, cardinality, options.pricing,
+                                     *cluster.candidate);
+    side.overhead[j] = side.estimates[j].overhead;
     side.frequency[j] = cluster.query_indices.size();
   }
 
@@ -129,7 +126,8 @@ Result<StreamingProblem> BuildStreamingProblem(
       if (plan == nullptr) return;
       const double query_cost = estimator.EstimatePlanCost(*plan);
       for (uint32_t j : side.applicable[row]) {
-        const double benefit = BenefitCell(query_cost, side.estimates[j]);
+        const double benefit =
+            RealOptBenefitCell(query_cost, side.estimates[j]);
         if (benefit != 0.0) {
           rows[row - base].push_back(CompressedRowStore::Entry{j, benefit});
         }
@@ -168,7 +166,8 @@ Result<MvsProblem> BuildDenseProblem(
     if (plan == nullptr) return;
     const double query_cost = estimator.EstimatePlanCost(*plan);
     for (uint32_t j : side.applicable[row]) {
-      problem.benefit[row][j] = BenefitCell(query_cost, side.estimates[j]);
+      problem.benefit[row][j] =
+          RealOptBenefitCell(query_cost, side.estimates[j]);
     }
   });
 

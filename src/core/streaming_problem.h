@@ -12,7 +12,31 @@
 
 namespace autoview {
 
+class CardinalityEstimator;
 class ThreadPool;
+class TraditionalEstimator;
+
+/// \brief Per-view estimated cost terms (the counterpart of
+/// CandidateInfo in the execution-based path), shared by the batch
+/// problem builders and the OnlineAdvisor's per-view re-pricing.
+struct ViewEstimates {
+  double overhead = 0.0;       ///< storage fee + estimated build cost
+  double subquery_cost = 0.0;  ///< A(s), the estimated candidate cost
+  double scan_cost = 0.0;      ///< A(scan v)
+};
+
+/// Prices one candidate plan from catalog statistics — the per-view
+/// head of the batch builders, exposed so the online advisor can price
+/// candidates one at a time with the identical arithmetic (the dense
+/// oracle comparisons need the doubles bit-exact).
+ViewEstimates EstimateView(const TraditionalEstimator& estimator,
+                           const CardinalityEstimator& cardinality,
+                           const Pricing& pricing, const PlanNode& plan);
+
+/// The RealOpt benefit cell B = A(q) - (max(0, A(q) - A(s)) + A(scan v)),
+/// matching the `exact_benefits == false` branch of BuildGroundTruth
+/// with estimated terms substituted for measured ones.
+double RealOptBenefitCell(double query_cost, const ViewEstimates& view);
 
 /// \brief Options for the streaming benefit-matrix construction.
 struct StreamingProblemOptions {

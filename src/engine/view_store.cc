@@ -8,24 +8,31 @@
 #include "util/failpoint.h"
 #include "util/logging.h"
 #include "util/metrics.h"
+#include "util/parse.h"
 #include "util/strings.h"
 #include "util/thread_pool.h"
 
 namespace autoview {
 
-ViewStoreOptions ViewStoreOptions::FromEnv() {
+Result<ViewStoreOptions> ViewStoreOptions::FromEnvStrict() {
   ViewStoreOptions options;
   if (const char* raw = std::getenv("AUTOVIEW_VIEW_BUDGET_BYTES")) {
-    char* end = nullptr;
-    const unsigned long long parsed = std::strtoull(raw, &end, 10);
-    if (end != raw && *end == '\0') {
-      options.budget_bytes = parsed;
-    } else {
-      AV_LOG(Warning) << "ignoring unparsable AUTOVIEW_VIEW_BUDGET_BYTES='"
-                      << raw << "' (store stays unlimited)";
+    if (Status s = ParseUint64(raw, &options.budget_bytes); !s.ok()) {
+      return Status::ParseError("AUTOVIEW_VIEW_BUDGET_BYTES: " + s.message());
     }
   }
   return options;
+}
+
+ViewStoreOptions ViewStoreOptions::FromEnv() {
+  Result<ViewStoreOptions> strict = FromEnvStrict();
+  if (strict.ok()) return strict.value();
+  // Never silently: the old strtoull path wrapped "-1" to ULLONG_MAX
+  // (effectively unbounded) without a diagnostic. Strict parsing turns
+  // every malformed value into this warning + explicit unlimited.
+  AV_LOG(Warning) << strict.status().ToString()
+                  << " (store stays unlimited)";
+  return ViewStoreOptions();
 }
 
 ViewSetSnapshot& ViewSetSnapshot::operator=(ViewSetSnapshot&& other) noexcept {
@@ -102,18 +109,44 @@ Result<const MaterializedView*> MaterializedViewStore::Materialize(
   // concurrent lookups, drops, and other builds proceed in parallel.
   // The key reservation above keeps duplicate builds out meanwhile.
   Result<ExecResult> built = executor.Execute(*subquery);
-  MutexLock lock(mu_);
-  building_.erase(key);
-  if (!built.ok()) return built.status();
-  return InstallLocked(std::move(subquery), std::move(key),
-                       std::move(built).value(), mopts);
+  Result<const MaterializedView*> installed =
+      Status::Internal("unreachable: install result never set");
+  {
+    MutexLock lock(mu_);
+    building_.erase(key);
+    if (!built.ok()) return built.status();
+    installed = InstallLocked(std::move(subquery), std::move(key),
+                              std::move(built).value(), mopts);
+  }
+  // Outside the mutex: with background eviction on, an over-budget
+  // install flagged sweep_needed_ and the sweep task itself locks mu_
+  // (and may run inline when Submit is called from a pool worker).
+  MaybeScheduleSweep();
+  return installed;
 }
 
 Result<const MaterializedView*> MaterializedViewStore::InstallLocked(
     PlanNodePtr plan, std::string key, ExecResult result,
     const MaterializeOptions& mopts) {
   const uint64_t bytes = result.table.ByteSize();
-  AV_RETURN_NOT_OK(EvictToFitLocked(bytes));
+  if (options_.background_eviction && options_.budget_bytes > 0) {
+    // Admission path stays eviction-free: oversized views are still
+    // rejected, everything else is admitted immediately and the sweep
+    // worker brings the store back under the watermark.
+    if (bytes > options_.budget_bytes) {
+      GlobalViewStore().RecordAdmissionRejected();
+      return Status::ResourceExhausted(
+          StrFormat("view of %llu bytes exceeds the whole budget (%llu)",
+                    static_cast<unsigned long long>(bytes),
+                    static_cast<unsigned long long>(options_.budget_bytes)));
+    }
+    if (bytes_used_ + bytes > options_.budget_bytes) {
+      GlobalViewStore().RecordDeferredEviction();
+      sweep_needed_ = true;
+    }
+  } else {
+    AV_RETURN_NOT_OK(EvictToFitLocked(bytes));
+  }
   MaterializedView view;
   view.id = next_id_++;
   view.table_name = "__mv_" + std::to_string(view.id);
@@ -154,23 +187,7 @@ Status MaterializedViewStore::EvictToFitLocked(uint64_t needed) {
                   static_cast<unsigned long long>(options_.budget_bytes)));
   }
   while (bytes_used_ + needed > options_.budget_bytes) {
-    // Victim: lowest utility-per-byte among unpinned live views; ties
-    // break toward the smallest id (the map iterates ascending id and
-    // only a strictly lower score displaces the incumbent), so eviction
-    // order is fully deterministic.
-    auto victim = by_id_.end();
-    double victim_score = 0.0;
-    for (auto it = by_id_.begin(); it != by_id_.end(); ++it) {
-      const Entry& entry = it->second;
-      if (entry.doomed || entry.pins > 0) continue;
-      const double score =
-          entry.view.utility /
-          static_cast<double>(std::max<uint64_t>(1, entry.view.byte_size));
-      if (victim == by_id_.end() || score < victim_score) {
-        victim = it;
-        victim_score = score;
-      }
-    }
+    auto victim = PickVictimLocked();
     if (victim == by_id_.end()) {
       GlobalViewStore().RecordAdmissionRejected();
       return Status::ResourceExhausted(
@@ -181,6 +198,75 @@ Status MaterializedViewStore::EvictToFitLocked(uint64_t needed) {
     GlobalViewStore().RecordEviction(victim_bytes);
   }
   return Status::OK();
+}
+
+MaterializedViewStore::EntryMap::iterator
+MaterializedViewStore::PickVictimLocked() {
+  // Victim: lowest utility-per-byte among unpinned live views; ties
+  // break toward the smallest id (the map iterates ascending id and
+  // only a strictly lower score displaces the incumbent), so eviction
+  // order is fully deterministic.
+  auto victim = by_id_.end();
+  double victim_score = 0.0;
+  for (auto it = by_id_.begin(); it != by_id_.end(); ++it) {
+    const Entry& entry = it->second;
+    if (entry.doomed || entry.pins > 0) continue;
+    const double score =
+        entry.view.utility /
+        static_cast<double>(std::max<uint64_t>(1, entry.view.byte_size));
+    if (victim == by_id_.end() || score < victim_score) {
+      victim = it;
+      victim_score = score;
+    }
+  }
+  return victim;
+}
+
+size_t MaterializedViewStore::SweepToWatermarkLocked() {
+  if (options_.budget_bytes == 0) return 0;
+  const double watermark =
+      options_.evict_watermark > 0.0 && options_.evict_watermark <= 1.0
+          ? options_.evict_watermark
+          : 1.0;
+  const uint64_t target = static_cast<uint64_t>(
+      watermark * static_cast<double>(options_.budget_bytes));
+  size_t evicted = 0;
+  while (bytes_used_ > target) {
+    auto victim = PickVictimLocked();
+    // Everything left is pinned (or doomed awaiting unpin): stop
+    // without error — the next admission re-flags the sweep.
+    if (victim == by_id_.end()) break;
+    const uint64_t victim_bytes = victim->second.view.byte_size;
+    if (Status s = DoomLocked(victim); !s.ok()) {
+      AV_LOG(Warning) << "background eviction failed: " << s.ToString();
+      break;
+    }
+    GlobalViewStore().RecordEviction(victim_bytes);
+    ++evicted;
+  }
+  return evicted;
+}
+
+size_t MaterializedViewStore::SweepNow() {
+  MutexLock lock(mu_);
+  return SweepToWatermarkLocked();
+}
+
+void MaterializedViewStore::MaybeScheduleSweep() {
+  {
+    MutexLock lock(mu_);
+    if (!sweep_needed_ || sweep_scheduled_) return;
+    sweep_needed_ = false;
+    sweep_scheduled_ = true;
+    ++async_inflight_;  // WaitIdle() drains pending sweeps too
+  }
+  ThreadPool& pool = options_.pool != nullptr ? *options_.pool : DefaultPool();
+  pool.Submit([this] {
+    MutexLock lock(mu_);
+    SweepToWatermarkLocked();
+    sweep_scheduled_ = false;
+    if (--async_inflight_ == 0) idle_cv_.NotifyAll();
+  });
 }
 
 Status MaterializedViewStore::DoomLocked(EntryMap::iterator it) {

@@ -6,6 +6,7 @@
 
 #include "ilp/compact_problem.h"
 #include "ilp/problem.h"
+#include "util/status.h"
 
 namespace autoview {
 
@@ -46,7 +47,15 @@ class MvsProblemIndex {
   struct Entry {
     size_t index;    ///< view (in rows) or query (in columns)
     double benefit;  ///< B_ij as stored in the dense matrix
+
+    bool operator==(const Entry& other) const {
+      return index == other.index && benefit == other.benefit;
+    }
   };
+
+  /// Empty 0 x 0 index; grown one query/view at a time by the mutation
+  /// methods below (the OnlineAdvisor's starting state).
+  MvsProblemIndex() = default;
 
   explicit MvsProblemIndex(const MvsProblem& problem);
   /// Builds the identical index from compressed-CSR shards; no dense
@@ -125,11 +134,53 @@ class MvsProblemIndex {
   double CurrentBenefit(size_t j,
                         const std::vector<std::vector<bool>>& y) const;
 
+  // -------------------------------------------------------------------
+  // Mutations (the online advisor's re-indexing path). Each call leaves
+  // the index equal (operator==, every field, FP values bit-exact) to
+  // an index rebuilt from scratch over the mutated instance — see
+  // DESIGN.md §12 for the per-field argument. Scalar totals are
+  // re-folded in the canonical ascending order after every mutation;
+  // per-row orders are re-sorted from the identity permutation exactly
+  // as BuildOrdersAndAggregates does, so even unstable-sort outcomes
+  // match a rebuild. Cost is O(affected) except RetireQueryRow /
+  // RetireCandidateView, which renumber the tail (O(nnz) walks).
+
+  /// Appends query row num_queries(): `entries` are the new row's
+  /// nonzero cells (positive and negative), ascending view index.
+  Status InsertQueryRow(const std::vector<Entry>& entries);
+
+  /// Removes query row `i`; rows above it shift down one index.
+  Status RetireQueryRow(size_t i);
+
+  /// Appends view num_views(): `column` is its nonzero cells ascending
+  /// query index; `overlapping` lists the existing views it overlaps
+  /// (ascending; the symmetric edges are added automatically).
+  Status AddCandidateView(double overhead, const std::vector<Entry>& column,
+                          const std::vector<size_t>& overlapping);
+
+  /// Removes view `j`; views above it shift down one index.
+  Status RetireCandidateView(size_t j);
+
+  /// Field-wise equality, FP values compared bit-exactly — the mutation
+  /// tests assert EXPECT_EQ against a rebuilt-from-scratch index.
+  bool operator==(const MvsProblemIndex& other) const;
+
  private:
   /// Shared tail of both constructors: per-row benefit-descending orders
   /// and tie flags, then the per-view aggregates. Requires rows_,
   /// columns_, adjacency_, overhead_ to be fully populated.
   void BuildOrdersAndAggregates();
+
+  /// Re-sorts row i's benefit order from the identity permutation and
+  /// refreshes its tie flag — the same code path a rebuild runs.
+  void RebuildRowOrder(size_t i);
+
+  /// Fresh ascending-query fold of column j's positive entries — the
+  /// rebuild's MaxBenefit accumulation.
+  void RecomputeMaxBenefit(size_t j);
+
+  /// Fresh ascending-view folds of the two scalar totals.
+  void RecomputeTotals();
 
   std::vector<double> overhead_;
   std::vector<std::vector<Entry>> rows_;

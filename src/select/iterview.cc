@@ -360,6 +360,93 @@ TrialResult RunTrialIncremental(const MvsProblemIndex& index,
   return trial;
 }
 
+/// RunTrialIncremental seeded from a warm incumbent instead of a random
+/// configuration: z starts at `warm_z`, y at Y-Opt(warm_z). Because the
+/// warm y is itself a solver output (per-query optimal for this z over
+/// this index), the first-iteration all-queries re-solve is skipped —
+/// the dirty-query machinery is sound from iteration one. The best-so-
+/// far incumbent starts at the warm evaluation, so the trial can only
+/// improve on the warm utility.
+TrialResult RunTrialWarm(const MvsProblemIndex& index,
+                         const IterViewSelector::Options& options,
+                         uint64_t seed, const std::vector<bool>& warm_z) {
+  TrialResult trial;
+  Rng rng(seed);
+  const size_t nz = index.num_views();
+  const size_t nq = index.num_queries();
+  YOptSolver yopt(&index);
+
+  std::vector<bool> z = warm_z;
+  std::vector<std::vector<bool>> y = yopt.SolveAll(z);
+  GlobalSelection().RecordQueriesSolved(nq);
+
+  MvsSolution& best = trial.solution;
+  best.z = z;
+  best.y = y;
+  best.utility = index.EvaluateUtilitySparse(z, y);
+  trial.trace.push_back(best.utility);
+  GlobalSelection().RecordUtilityCells(index.NumPositive());
+
+  std::vector<double> b_cur(nz, 0.0);
+  for (size_t j = 0; j < nz; ++j) b_cur[j] = index.CurrentBenefit(j, y);
+
+  std::vector<size_t> flipped;
+  std::vector<bool> query_dirty(nq, false);
+  std::vector<size_t> dirty_queries;
+  std::vector<bool> view_dirty(nz, false);
+  std::vector<size_t> dirty_views;
+
+  for (size_t iter = 0; iter < options.iterations; ++iter) {
+    if (StopRequested(options.deadline, options.cancel)) {
+      trial.timed_out = true;
+      break;
+    }
+    const double tau = rng.Uniform01();
+    const bool frozen = iter >= options.freeze_selected_after;
+    flipped.clear();
+    internal::ZOptStepRecording(index, b_cur, tau, frozen, &z, &flipped);
+
+    dirty_queries.clear();
+    for (size_t j : flipped) {
+      for (const MvsProblemIndex::Entry& e : index.Column(j)) {
+        if (e.benefit > 0 && !query_dirty[e.index]) {
+          query_dirty[e.index] = true;
+          dirty_queries.push_back(e.index);
+        }
+      }
+    }
+    std::sort(dirty_queries.begin(), dirty_queries.end());
+    for (size_t i : dirty_queries) query_dirty[i] = false;
+    GlobalSelection().RecordQueriesSolved(dirty_queries.size());
+
+    dirty_views.clear();
+    for (size_t i : dirty_queries) {
+      std::vector<bool> solved = yopt.SolveQuery(i, z);
+      for (const MvsProblemIndex::Entry& e : index.Row(i)) {
+        if (y[i][e.index] != solved[e.index] && !view_dirty[e.index]) {
+          view_dirty[e.index] = true;
+          dirty_views.push_back(e.index);
+        }
+      }
+      y[i] = std::move(solved);
+    }
+    for (size_t j : dirty_views) {
+      b_cur[j] = index.CurrentBenefit(j, y);
+      view_dirty[j] = false;
+    }
+
+    const double utility = index.EvaluateUtilitySparse(z, y);
+    GlobalSelection().RecordUtilityCells(index.NumPositive());
+    trial.trace.push_back(utility);
+    if (utility > best.utility) {
+      best.z = z;
+      best.y = y;
+      best.utility = utility;
+    }
+  }
+  return trial;
+}
+
 /// Runs `restarts` independent seeded trials of `run_trial(seed)` on the
 /// configured pool and reduces them deterministically (strict > keeps
 /// the lowest restart index on ties, regardless of which worker finished
@@ -437,6 +524,26 @@ Result<MvsSolution> IterViewSelector::SelectIndexed(
   MvsSolution best = RunRestartsAndReduce(
       options_, index.num_queries(), index.num_views(),
       [&](uint64_t seed) { return RunTrialIncremental(index, options_, seed); },
+      &trace_);
+  return best;
+}
+
+Result<MvsSolution> IterViewSelector::ReselectDelta(
+    const MvsProblemIndex& index, const std::vector<bool>& warm_z) {
+  if (warm_z.size() != index.num_views()) {
+    return Status::InvalidArgument("warm_z size does not match index views");
+  }
+  trace_.clear();
+  // Monotonicity through the anytime floor: every trial's best starts
+  // at the warm evaluation u_w, so the reduced best is >= u_w. The
+  // timeout floor substitutes all-zeros (utility 0) only when best < 0,
+  // i.e. only when u_w < 0 — and 0 > u_w there, so the guarantee holds
+  // on both branches.
+  MvsSolution best = RunRestartsAndReduce(
+      options_, index.num_queries(), index.num_views(),
+      [&](uint64_t seed) {
+        return RunTrialWarm(index, options_, seed, warm_z);
+      },
       &trace_);
   return best;
 }

@@ -76,6 +76,20 @@ class IterViewSelector : public ViewSelector {
   /// Ignores Options::engine (this path is inherently incremental).
   Result<MvsSolution> SelectIndexed(const MvsProblemIndex& index);
 
+  /// Warm-started delta re-selection for the online advisor: seeds every
+  /// trial with the incumbent selection `warm_z` over the (mutated)
+  /// index, re-derives y = Y-Opt(warm_z), and runs the incremental
+  /// iteration loop from there — skipping both the random initialization
+  /// and the first-iteration all-queries re-solve (the warm y IS a
+  /// solver output, so the dirty-query machinery applies from iteration
+  /// one). Monotonicity guarantee: the result's utility is never below
+  /// the warm point's own utility under the new index — Y-Opt is
+  /// per-query optimal for fixed z, the best-so-far incumbent starts at
+  /// the warm evaluation, and the anytime floor only ever substitutes
+  /// utility 0 when the incumbent is negative.
+  Result<MvsSolution> ReselectDelta(const MvsProblemIndex& index,
+                                    const std::vector<bool>& warm_z);
+
   std::string name() const override {
     return is_bigsub_ ? "BigSub" : "IterView";
   }

@@ -357,11 +357,7 @@ Result<MvsSolution> RLViewSelector::SelectNaive(const MvsProblem& problem) {
 /// snapshots refresh after each parameter update.
 Result<MvsSolution> RLViewSelector::SelectIncremental(
     const MvsProblem& problem) {
-  const size_t nz = problem.num_views();
-  const size_t nq = problem.num_queries();
   const MvsProblemIndex index(problem);
-  YOptSolver yopt(&problem, &index);
-  Rng rng(options_.seed);
 
   // Warm start: Z0, Y0 <- IterView (Algorithm 2, line 2); runs its own
   // incremental engine (same bit-exact result as the naive one).
@@ -374,6 +370,44 @@ Result<MvsSolution> RLViewSelector::SelectIncremental(
   IterViewSelector warm(warm_options);
   AV_ASSIGN_OR_RETURN(MvsSolution state, warm.Select(problem));
   for (double u : warm.utility_trace()) trace_.push_back(u);
+  return EpisodesIndexed(index, state);
+}
+
+Result<MvsSolution> RLViewSelector::ReselectDelta(
+    const MvsProblemIndex& index, const std::vector<bool>& warm_z) {
+  if (warm_z.size() != index.num_views()) {
+    return Status::InvalidArgument("warm_z size does not match index views");
+  }
+  trace_.clear();
+  if (index.num_views() == 0) {
+    MvsSolution empty;
+    empty.y.assign(index.num_queries(), {});
+    return empty;
+  }
+  // Warm start: IterView's own delta re-selection seeded at the
+  // incumbent (Algorithm 2, line 2, with the random initialization
+  // replaced by warm_z). Its result is never below the warm point's
+  // utility under this index, and the episode incumbent below only
+  // improves on its start state, so the whole re-selection is monotone
+  // with respect to the incumbent.
+  IterViewSelector::Options warm_options;
+  warm_options.iterations = options_.init_iterations;
+  warm_options.seed = options_.seed;
+  warm_options.deadline = options_.deadline;
+  warm_options.cancel = options_.cancel;
+  IterViewSelector warm(warm_options);
+  AV_ASSIGN_OR_RETURN(MvsSolution state, warm.ReselectDelta(index, warm_z));
+  for (double u : warm.utility_trace()) trace_.push_back(u);
+  return EpisodesIndexed(index, state);
+}
+
+Result<MvsSolution> RLViewSelector::EpisodesIndexed(
+    const MvsProblemIndex& index, const MvsSolution& state) {
+  const size_t nz = index.num_views();
+  const std::vector<double>& overhead = index.Overhead();
+  YOptSolver yopt(&index);
+  Rng rng(options_.seed);
+
   MvsSolution best = state;
   bool timed_out = state.timed_out;
   best.timed_out = false;  // set again below if the run was cut short
@@ -406,20 +440,22 @@ Result<MvsSolution> RLViewSelector::SelectIncremental(
   const size_t max_steps =
       options_.max_steps_per_episode ? options_.max_steps_per_episode : nz;
 
-  // Row-major (nz x kFeatureDim) feature matrix for all actions.
+  // Row-major (nz x kFeatureDim) feature matrix for all actions. The
+  // index's overhead copy stands in for problem.overhead — the values
+  // are identical by construction, so the features stay bit-exact.
   auto features_of = [&](const std::vector<bool>& z,
                          const std::vector<double>& b_cur, double utility) {
     const double utility_norm = utility / utility_scale;
     double o_cur = 0.0, b_cur_total = 0.0;
     for (size_t k = 0; k < nz; ++k) {
-      if (z[k]) o_cur += problem.overhead[k];
+      if (z[k]) o_cur += overhead[k];
       b_cur_total += b_cur[k];
     }
     std::vector<nn::Scalar> phis(nz * kFeatureDim);
     for (size_t j = 0; j < nz; ++j) {
       nn::Scalar* row = &phis[j * kFeatureDim];
       row[0] = z[j] ? 1.0 : 0.0;
-      row[1] = problem.overhead[j] / std::max(o_max, 1e-12);
+      row[1] = overhead[j] / std::max(o_max, 1e-12);
       row[2] = max_benefit[j] / std::max(b_max_total, 1e-12);
       row[3] = b_cur[j] / std::max(b_cur_total, 1e-12);
       row[4] = overlap_degree[j];

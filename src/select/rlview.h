@@ -66,6 +66,19 @@ class RLViewSelector : public ViewSelector {
   RLViewSelector() : RLViewSelector(Options{}) {}
 
   Result<MvsSolution> Select(const MvsProblem& problem) override;
+
+  /// Warm-started delta re-selection for the online advisor: the
+  /// IterView warm start runs its own ReselectDelta seeded at the
+  /// incumbent `warm_z` over the (mutated) index, then the RL episodes
+  /// restart from that state exactly as in Select(). Index-only — no
+  /// dense MvsProblem is ever built, so the advisor can call this
+  /// directly on its incrementally maintained index. Monotonicity: the
+  /// warm start never returns below the warm point's own utility under
+  /// the new index, and the episode incumbent only ever improves on its
+  /// start state, so neither does the result.
+  Result<MvsSolution> ReselectDelta(const MvsProblemIndex& index,
+                                    const std::vector<bool>& warm_z);
+
   std::string name() const override { return "RLView"; }
 
  private:
@@ -80,6 +93,15 @@ class RLViewSelector : public ViewSelector {
   /// The two engines behind Select() (see Options::engine).
   Result<MvsSolution> SelectNaive(const MvsProblem& problem);
   Result<MvsSolution> SelectIncremental(const MvsProblem& problem);
+
+  /// The incremental RL episode loop, shared by SelectIncremental() and
+  /// ReselectDelta(): restarts every episode from `state` (the warm
+  /// start's best solution) and reads the instance exclusively through
+  /// the index — bit-identical to the dense loop because the index
+  /// stores its own overhead copy and every sparse sum re-runs the
+  /// naive summation order.
+  Result<MvsSolution> EpisodesIndexed(const MvsProblemIndex& index,
+                                      const MvsSolution& state);
 
   Options options_;
 };

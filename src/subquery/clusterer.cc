@@ -5,6 +5,7 @@
 #include <set>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 #include "plan/canonical.h"
 #include "util/thread_pool.h"
@@ -118,8 +119,10 @@ std::vector<std::vector<size_t>> ComputeOverlaps(
              : ComputeOverlapsBucketed(plans, pool);
 }
 
-/// Derives candidates / associated queries / overlap table from the
-/// fully built clusters — the shared tail of both analysis paths.
+}  // namespace
+
+namespace internal {
+
 void FinishAnalysis(const SubqueryClusterer::Options& options,
                     ThreadPool& pool, WorkloadAnalysis* analysis) {
   for (size_t ci = 0; ci < analysis->clusters.size(); ++ci) {
@@ -145,7 +148,9 @@ void FinishAnalysis(const SubqueryClusterer::Options& options,
       ComputeOverlaps(candidate_plans, options.overlap, pool);
 }
 
-}  // namespace
+}  // namespace internal
+
+using internal::FinishAnalysis;
 
 WorkloadAnalysis SubqueryClusterer::Analyze(
     const std::vector<PlanNodePtr>& queries) const {
@@ -312,6 +317,197 @@ WorkloadAnalysis SubqueryClusterer::AnalyzeStreaming(
       }
     }
   });
+
+  FinishAnalysis(options_, pool, &analysis);
+  return analysis;
+}
+
+// ---------------------------------------------------------------------
+// ClustererSession
+
+ClustererSession::ClustererSession(SubqueryClusterer::Options options,
+                                   SubqueryClusterer::CostFn cost_fn)
+    : options_(options), cost_fn_(std::move(cost_fn)) {}
+
+bool ClustererSession::RecomputeCandidate(ClusterState* cluster) {
+  // Members iterate in (query id, ordinal) order — the order the batch
+  // pass visits occurrences — and only a strictly lower cost displaces
+  // the incumbent, so the chosen member matches Analyze() bit for bit.
+  const PlanNode* before = cluster->candidate.get();
+  PlanNodePtr best;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (const auto& [key, member] : cluster->members) {
+    if (member.cost < best_cost) {
+      best_cost = member.cost;
+      best = member.plan;
+    }
+  }
+  cluster->candidate = best;
+  return cluster->candidate.get() != before;
+}
+
+Status ClustererSession::IngestQuery(uint64_t query_id,
+                                     const PlanNodePtr& plan,
+                                     MutationEffects* effects) {
+  if (plan == nullptr) return Status::InvalidArgument("null query plan");
+  if (queries_.count(query_id) != 0) {
+    return Status::AlreadyExists("query id already live");
+  }
+  SubqueryExtractor extractor(options_.extractor);
+  std::vector<PlanNodePtr> subs = extractor.Extract(plan);
+
+  std::vector<std::string>& keys = queries_[query_id];
+  keys.reserve(subs.size());
+  std::map<std::string, bool> was_candidate;  // touched clusters, key asc
+  for (size_t ordinal = 0; ordinal < subs.size(); ++ordinal) {
+    std::string key = CanonicalKey(*subs[ordinal]);
+    auto [it, inserted] = clusters_.emplace(key, ClusterState{});
+    if (inserted) was_candidate.emplace(key, false);
+    else was_candidate.emplace(key, IsCandidate(it->second));
+    ClusterState& cluster = it->second;
+    Member member;
+    member.cost = cost_fn_
+                      ? cost_fn_(*subs[ordinal])
+                      : static_cast<double>(subs[ordinal]->NumOperators());
+    member.plan = subs[ordinal];
+    cluster.members.emplace(std::make_pair(query_id, ordinal),
+                            std::move(member));
+    ++cluster.per_query[query_id];
+    keys.push_back(std::move(key));
+  }
+
+  for (const auto& [key, was] : was_candidate) {
+    ClusterState& cluster = clusters_.at(key);
+    const bool replanned = RecomputeCandidate(&cluster);
+    const bool is = IsCandidate(cluster);
+    if (!was && is) {
+      ++churn_events_;
+      if (effects) effects->candidates_added.push_back(key);
+    } else if (was && is && replanned) {
+      ++churn_events_;
+      if (effects) effects->candidates_replanned.push_back(key);
+    }
+    // was && !is cannot happen on ingest (sharing only grows).
+  }
+  return Status::OK();
+}
+
+Status ClustererSession::RetireQuery(uint64_t query_id,
+                                     MutationEffects* effects) {
+  auto qit = queries_.find(query_id);
+  if (qit == queries_.end()) return Status::NotFound("query id not live");
+
+  std::map<std::string, bool> was_candidate;
+  const std::vector<std::string>& keys = qit->second;
+  for (size_t ordinal = 0; ordinal < keys.size(); ++ordinal) {
+    auto it = clusters_.find(keys[ordinal]);
+    if (it == clusters_.end()) continue;  // defensive; ingest recorded it
+    ClusterState& cluster = it->second;
+    was_candidate.emplace(keys[ordinal], IsCandidate(cluster));
+    cluster.members.erase(std::make_pair(query_id, ordinal));
+    if (auto pq = cluster.per_query.find(query_id);
+        pq != cluster.per_query.end() && --pq->second == 0) {
+      cluster.per_query.erase(pq);
+    }
+  }
+
+  for (const auto& [key, was] : was_candidate) {
+    auto it = clusters_.find(key);
+    ClusterState& cluster = it->second;
+    if (cluster.members.empty()) {
+      clusters_.erase(it);
+      if (was) {
+        ++churn_events_;
+        if (effects) effects->candidates_removed.push_back(key);
+      }
+      continue;
+    }
+    const bool replanned = RecomputeCandidate(&cluster);
+    const bool is = IsCandidate(cluster);
+    if (was && !is) {
+      ++churn_events_;
+      if (effects) effects->candidates_removed.push_back(key);
+    } else if (was && is && replanned) {
+      ++churn_events_;
+      if (effects) effects->candidates_replanned.push_back(key);
+    }
+    // !was && is cannot happen on retire (sharing only shrinks).
+  }
+  queries_.erase(qit);
+  return Status::OK();
+}
+
+std::vector<uint64_t> ClustererSession::LiveQueryIds() const {
+  std::vector<uint64_t> ids;
+  ids.reserve(queries_.size());
+  for (const auto& [id, unused] : queries_) ids.push_back(id);
+  return ids;
+}
+
+const std::vector<std::string>* ClustererSession::QueryKeys(
+    uint64_t query_id) const {
+  auto it = queries_.find(query_id);
+  return it == queries_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> ClustererSession::CandidateKeys() const {
+  std::vector<std::string> keys;
+  for (const auto& [key, cluster] : clusters_) {
+    if (IsCandidate(cluster)) keys.push_back(key);
+  }
+  return keys;
+}
+
+std::optional<ClustererSession::CandidateInfo> ClustererSession::Candidate(
+    const std::string& key) const {
+  auto it = clusters_.find(key);
+  if (it == clusters_.end() || !IsCandidate(it->second)) return std::nullopt;
+  CandidateInfo info;
+  info.key = key;
+  info.plan = it->second.candidate;
+  for (const auto& [id, unused] : it->second.per_query) {
+    info.query_ids.push_back(id);
+  }
+  return info;
+}
+
+WorkloadAnalysis ClustererSession::Snapshot() const {
+  WorkloadAnalysis analysis;
+  analysis.num_queries = queries_.size();
+  ThreadPool& pool = options_.pool ? *options_.pool : DefaultPool();
+
+  // Batch query indices are positions in the ascending live-id list.
+  std::map<uint64_t, size_t> position;
+  for (const auto& [id, unused] : queries_) {
+    position.emplace(id, position.size());
+  }
+
+  // Batch cluster order is first appearance over the query-ordered
+  // merge: ascending (first member's query position, ordinal). The
+  // member maps are keyed (query id, ordinal) with id order = position
+  // order, so each cluster's first member IS its first appearance.
+  std::vector<const std::map<std::string, ClusterState>::value_type*> ordered;
+  ordered.reserve(clusters_.size());
+  for (const auto& entry : clusters_) ordered.push_back(&entry);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto* a, const auto* b) {
+              return a->second.members.begin()->first <
+                     b->second.members.begin()->first;
+            });
+
+  for (const auto* entry : ordered) {
+    const ClusterState& state = entry->second;
+    SubqueryCluster cluster;
+    cluster.canonical_key = entry->first;
+    cluster.occurrence_count = state.members.size();
+    cluster.candidate = state.candidate;
+    for (const auto& [id, unused] : state.per_query) {
+      cluster.query_indices.push_back(position.at(id));
+    }
+    analysis.num_subqueries += cluster.occurrence_count;
+    analysis.num_equivalent_pairs += cluster.num_equivalent_pairs();
+    analysis.clusters.push_back(std::move(cluster));
+  }
 
   FinishAnalysis(options_, pool, &analysis);
   return analysis;

@@ -3,11 +3,14 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "plan/plan.h"
 #include "subquery/extractor.h"
+#include "util/status.h"
 
 namespace autoview {
 
@@ -151,5 +154,126 @@ class SubqueryClusterer {
 /// equivalent-but-structurally-different subplans still register their
 /// common subtrees.
 bool CanonicalPlansOverlap(const PlanNode& a, const PlanNode& b);
+
+namespace internal {
+/// Derives candidates / associated queries / overlap table from fully
+/// built clusters — the shared tail of Analyze, AnalyzeStreaming, and
+/// ClustererSession::Snapshot.
+void FinishAnalysis(const SubqueryClusterer::Options& options,
+                    ThreadPool& pool, WorkloadAnalysis* analysis);
+}  // namespace internal
+
+/// \brief Incremental clustering over a live (sliding-window) workload.
+///
+/// The batch clusterer answers "cluster these N queries"; the session
+/// answers "query q arrived / retired" while keeping exactly the state
+/// the batch pass would have: per-cluster members keyed by
+/// (query id, extraction ordinal), occurrence counts per query, and the
+/// least-cost candidate member under the same strict-< tie-break. The
+/// batch result stays the bit-identity oracle: Snapshot() over the live
+/// window compares field-for-field with Analyze() over the same plans
+/// in ascending-id order (clusters re-emerge in first-appearance order,
+/// query indices as positions in the sorted live-id list).
+///
+/// Members are retained (plan + cost per occurrence), so memory is
+/// O(live occurrences) — sized for a sliding window, not the unbounded
+/// history AnalyzeStreaming's two-pass aggregate path covers.
+///
+/// Not internally synchronized: the owner (OnlineAdvisor) serializes
+/// access.
+class ClustererSession {
+ public:
+  /// Candidate-set deltas of one Ingest/Retire, in deterministic order
+  /// (ascending canonical key). A key appears in at most one vector.
+  struct MutationEffects {
+    std::vector<std::string> candidates_added;    ///< crossed min_sharing up
+    std::vector<std::string> candidates_removed;  ///< crossed min_sharing down
+    std::vector<std::string> candidates_replanned;  ///< argmin member changed
+
+    bool empty() const {
+      return candidates_added.empty() && candidates_removed.empty() &&
+             candidates_replanned.empty();
+    }
+  };
+
+  /// A current candidate cluster as the advisor consumes it.
+  struct CandidateInfo {
+    std::string key;
+    PlanNodePtr plan;                 ///< least-cost member
+    std::vector<uint64_t> query_ids;  ///< live queries containing it, asc
+  };
+
+  explicit ClustererSession(SubqueryClusterer::Options options,
+                            SubqueryClusterer::CostFn cost_fn = nullptr);
+
+  /// Adds query `query_id` (ids must be unique among live queries; the
+  /// advisor uses arrival order, so ascending ids = arrival order).
+  /// Extracts and clusters its subqueries; `effects` (optional)
+  /// receives the candidate-set delta.
+  Status IngestQuery(uint64_t query_id, const PlanNodePtr& plan,
+                     MutationEffects* effects = nullptr);
+
+  /// Removes a live query and every occurrence it contributed (no
+  /// re-extraction: the session remembers the query's keys).
+  Status RetireQuery(uint64_t query_id, MutationEffects* effects = nullptr);
+
+  /// Live query ids, ascending.
+  std::vector<uint64_t> LiveQueryIds() const;
+  size_t num_live_queries() const { return queries_.size(); }
+
+  /// Canonical keys of `query_id`'s extracted subqueries, in extraction
+  /// order (duplicates preserved — one entry per occurrence); nullptr
+  /// when the query is not live. The advisor uses this to find which
+  /// existing candidate columns a freshly ingested row intersects.
+  const std::vector<std::string>* QueryKeys(uint64_t query_id) const;
+
+  /// Current candidate clusters (>= min_sharing distinct queries),
+  /// ascending canonical key.
+  std::vector<std::string> CandidateKeys() const;
+
+  /// Lookup of one current candidate; nullopt when `key` is not a
+  /// candidate (unknown, or below min_sharing).
+  std::optional<CandidateInfo> Candidate(const std::string& key) const;
+
+  /// Cumulative candidate-set churn (adds + removes + replans) since
+  /// construction — the drift signal for the advisor's trigger policy.
+  uint64_t churn_events() const { return churn_events_; }
+
+  /// The WorkloadAnalysis of the live window, bit-comparable to
+  /// Analyze() over LiveQueryIds()'s plans in that order (occurrences
+  /// vectors excepted — like AnalyzeStreaming, the session reports
+  /// counts). Runs overlap detection, so it is O(batch tail), not O(1).
+  WorkloadAnalysis Snapshot() const;
+
+ private:
+  struct Member {
+    double cost = 0.0;
+    PlanNodePtr plan;
+  };
+  struct ClusterState {
+    /// (query id, extraction ordinal) -> member; map order is the batch
+    /// traversal order, so argmin recomputes reproduce the batch
+    /// tie-break exactly.
+    std::map<std::pair<uint64_t, size_t>, Member> members;
+    /// Live occurrence count per query; size() = distinct queries.
+    std::map<uint64_t, size_t> per_query;
+    PlanNodePtr candidate;  ///< least-cost member (strict-< tie-break)
+  };
+
+  bool IsCandidate(const ClusterState& cluster) const {
+    return cluster.per_query.size() >= options_.min_sharing;
+  }
+
+  /// Recomputes `cluster.candidate`; true when the plan changed.
+  bool RecomputeCandidate(ClusterState* cluster);
+
+  SubqueryClusterer::Options options_;
+  SubqueryClusterer::CostFn cost_fn_;
+  std::map<std::string, ClusterState> clusters_;
+  /// query id -> its subquery keys in extraction order (retire replays
+  /// these instead of re-extracting).
+  std::map<uint64_t, std::vector<std::string>> queries_;
+  uint64_t churn_events_ = 0;
+};
 
 }  // namespace autoview

@@ -1,0 +1,18 @@
+#include "util/clock.h"
+
+#include <chrono>
+
+namespace autoview {
+
+int64_t SystemClock::NowNanos() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+const Clock* DefaultClock() {
+  static const SystemClock kClock;
+  return &kClock;
+}
+
+}  // namespace autoview

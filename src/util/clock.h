@@ -1,0 +1,72 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/deadline.h"
+
+namespace autoview {
+
+/// \brief Injected time source for components that must stay replayable.
+///
+/// The online advisor's trigger policies and re-selection deadlines are
+/// part of its observable behavior, so they must never read ambient
+/// wall-clock time directly (check_determinism.sh enforces this for
+/// src/core/advisor.*). Instead the advisor takes a Clock*:
+///
+///  - SystemClock (the DefaultClock() singleton) backs production runs
+///    with std::chrono::steady_clock and real finite deadlines.
+///  - ManualClock backs tests and deterministic replay: time advances
+///    only when the test says so, and SelectionDeadline() returns an
+///    infinite Deadline so a replayed run is never cut short by how
+///    fast the host happened to execute it.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Monotonic nanoseconds since an arbitrary epoch.
+  virtual int64_t NowNanos() const = 0;
+
+  /// A deadline `budget_ms` milliseconds from now, in this clock's
+  /// notion of time. budget_ms <= 0 means "no deadline" (infinite).
+  virtual Deadline SelectionDeadline(double budget_ms) const = 0;
+};
+
+/// Production clock: steady_clock now, real wall-clock deadlines.
+class SystemClock : public Clock {
+ public:
+  int64_t NowNanos() const override;
+  Deadline SelectionDeadline(double budget_ms) const override {
+    return budget_ms > 0 ? Deadline::AfterMillis(budget_ms)
+                         : Deadline::Infinite();
+  }
+};
+
+/// Test clock: time is a counter advanced explicitly by the test.
+///
+/// SelectionDeadline() is always infinite — a manual clock cannot make
+/// a wall-clock deadline meaningful, and deterministic tests must not
+/// have their iteration counts depend on host speed.
+class ManualClock : public Clock {
+ public:
+  explicit ManualClock(int64_t start_nanos = 0) : nanos_(start_nanos) {}
+
+  int64_t NowNanos() const override {
+    return nanos_.load(std::memory_order_relaxed);
+  }
+  Deadline SelectionDeadline(double /*budget_ms*/) const override {
+    return Deadline::Infinite();
+  }
+
+  void AdvanceNanos(int64_t delta) {
+    nanos_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> nanos_;
+};
+
+/// Process-wide SystemClock singleton (never destroyed).
+const Clock* DefaultClock();
+
+}  // namespace autoview

@@ -1,0 +1,73 @@
+#include "util/parse.h"
+
+#include <charconv>
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace autoview {
+namespace {
+
+std::string Quoted(std::string_view text) {
+  std::string quoted;
+  quoted.reserve(text.size() + 2);
+  quoted.push_back('"');
+  quoted.append(text);
+  quoted.push_back('"');
+  return quoted;
+}
+
+}  // namespace
+
+Status ParseUint64(std::string_view text, uint64_t* out) {
+  // from_chars with an unsigned type already rejects '-' and '+', but
+  // check emptiness up front for a clearer message.
+  if (text.empty()) {
+    return Status::ParseError("expected unsigned integer, got empty string");
+  }
+  uint64_t value = 0;
+  const char* const end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, value, 10);
+  if (ec == std::errc::result_out_of_range) {
+    return Status::ParseError("integer out of range: " + Quoted(text));
+  }
+  if (ec != std::errc() || ptr != end) {
+    return Status::ParseError("not an unsigned integer: " + Quoted(text));
+  }
+  *out = value;
+  return Status::OK();
+}
+
+Status ParseSize(std::string_view text, size_t* out) {
+  uint64_t value = 0;
+  AV_RETURN_NOT_OK(ParseUint64(text, &value));
+  if constexpr (sizeof(size_t) < sizeof(uint64_t)) {
+    if (value > std::numeric_limits<size_t>::max()) {
+      return Status::ParseError("integer out of range: " + Quoted(text));
+    }
+  }
+  *out = static_cast<size_t>(value);
+  return Status::OK();
+}
+
+Status ParseDouble(std::string_view text, double* out) {
+  if (text.empty()) {
+    return Status::ParseError("expected number, got empty string");
+  }
+  double value = 0;
+  const char* const end = text.data() + text.size();
+  // chars_format::general: decimal and exponent forms only — no hex
+  // floats, and from_chars is locale-independent by construction.
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), end, value, std::chars_format::general);
+  if (ec == std::errc::result_out_of_range) {
+    return Status::ParseError("number out of range: " + Quoted(text));
+  }
+  if (ec != std::errc() || ptr != end || !std::isfinite(value)) {
+    return Status::ParseError("not a number: " + Quoted(text));
+  }
+  *out = value;
+  return Status::OK();
+}
+
+}  // namespace autoview

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace autoview {
+
+/// \brief Strict numeric parsing shared by flag and env-var handling.
+///
+/// These wrap std::from_chars (and a guarded strtod for doubles) with
+/// whole-string semantics: the entire input must be consumed, and any
+/// sign, overflow, or trailing junk is a ParseError. This matters for
+/// config surfaces like AUTOVIEW_VIEW_BUDGET_BYTES where the strtoull
+/// family silently wraps "-1" to ULLONG_MAX — turning an obvious typo
+/// into "effectively unbounded" with no diagnostic.
+///
+/// On error the output parameter is left untouched, so callers keep
+/// their defaults.
+
+/// Parses a full decimal uint64. Rejects empty input, signs,
+/// non-digits, trailing characters, and values that overflow uint64.
+Status ParseUint64(std::string_view text, uint64_t* out);
+
+/// Parses a full decimal size_t via ParseUint64 (range-checked when
+/// size_t is narrower than uint64).
+Status ParseSize(std::string_view text, size_t* out);
+
+/// Parses a full floating-point literal (decimal or exponent form).
+/// Rejects empty input, trailing characters, hex floats, inf/nan, and
+/// out-of-range magnitudes.
+Status ParseDouble(std::string_view text, double* out);
+
+}  // namespace autoview

@@ -45,6 +45,9 @@ TEST(LoadGenConfigTest, EveryFieldRoundTrips) {
   config.select_iterations = 11;
   config.select_timeout_s = 2.5;
   config.view_budget_bytes = 8192;
+  config.drift = "shift";
+  config.online = true;
+  config.advisor_epoch = 9;
   config.csv_file = "out.csv";
   config.json_file = "out.json";
   const auto parsed = ParseLoadGenArgs(ToArgs(config));
@@ -71,6 +74,15 @@ TEST(LoadGenConfigTest, RejectsUnknownAndMalformedFlags) {
   EXPECT_FALSE(ParseLoadGenArgs({"--clients=0"}).ok());
   EXPECT_FALSE(ParseLoadGenArgs({"--workload=JOB"}).ok());
   EXPECT_FALSE(ParseLoadGenArgs({"--measure_s=fast"}).ok());
+  // Strict parsing: the strtoull family accepted these silently.
+  EXPECT_FALSE(ParseLoadGenArgs({"--seed=-1"}).ok());
+  EXPECT_FALSE(ParseLoadGenArgs({"--max_requests=12x"}).ok());
+  // Drift validation: known modes only, and only in scheduled mode.
+  EXPECT_FALSE(ParseLoadGenArgs({"--drift=sideways"}).ok());
+  EXPECT_FALSE(ParseLoadGenArgs({"--drift=churn"}).ok());  // no max_requests
+  EXPECT_TRUE(
+      ParseLoadGenArgs({"--drift=churn", "--max_requests=8"}).ok());
+  EXPECT_FALSE(ParseLoadGenArgs({"--advisor_epoch=0"}).ok());
 }
 
 // ---------------------------------------------------------------------
@@ -113,6 +125,33 @@ TEST(ScheduleTest, DependsOnlyOnConfig) {
   // Distinct seeds and distinct client streams give distinct schedules.
   EXPECT_NE(a, BuildSchedule(43, 4, 32, 100));
   EXPECT_NE(a[0], a[1]);
+}
+
+TEST(ScheduleTest, DriftModesAreDeterministicAndInRange) {
+  for (const std::string drift : {"churn", "shift", "adhoc"}) {
+    const auto a = BuildSchedule(42, 4, 32, 100, drift);
+    EXPECT_EQ(a, BuildSchedule(42, 4, 32, 100, drift)) << drift;
+    ASSERT_EQ(a.size(), 4u);
+    for (const auto& client : a) {
+      ASSERT_EQ(client.size(), 32u);
+      for (size_t qi : client) EXPECT_LT(qi, 100u) << drift;
+    }
+    // Drift reshapes the request mix relative to the stationary draw.
+    EXPECT_NE(a, BuildSchedule(42, 4, 32, 100)) << drift;
+  }
+}
+
+TEST(ScheduleTest, ChurnRotatesThroughQuarters) {
+  // One client, 64 requests over 100 queries: requests [p*16, (p+1)*16)
+  // must come from quarter p of the query space.
+  const auto schedule = BuildSchedule(9, 1, 64, 100, "churn");
+  ASSERT_EQ(schedule.size(), 1u);
+  ASSERT_EQ(schedule[0].size(), 64u);
+  for (size_t n = 0; n < 64; ++n) {
+    const size_t phase = std::min<size_t>(3, 4 * n / 64);
+    EXPECT_GE(schedule[0][n], phase * 100 / 4) << n;
+    EXPECT_LT(schedule[0][n], (phase + 1) * 100 / 4) << n;
+  }
 }
 
 TEST(ScheduleTest, MultisetStableAcrossThreadCounts) {
@@ -187,6 +226,32 @@ TEST(LoadGenRunTest, BudgetedStoreServesEveryRequestWithinBudget) {
   EXPECT_EQ(run.value().requests, 12u);
 }
 
+TEST(LoadGenRunTest, OnlineModeReselectsAndSwapsWhileServing) {
+  LoadGenConfig config;
+  config.workload = "WK1";
+  config.scale = 0.15;
+  config.max_requests = 8;
+  config.clients = 2;
+  config.select_iterations = 15;
+  config.select_timeout_s = 10.0;
+  config.online = true;
+  config.advisor_epoch = 4;
+  config.drift = "churn";
+
+  const auto run = RunLoadGen(config);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  const LoadGenResult& r = run.value();
+  EXPECT_TRUE(r.online);
+  EXPECT_EQ(r.drift, "churn");
+  EXPECT_EQ(r.requests, 16u);
+  EXPECT_EQ(r.failed_requests, 0u);
+  // Every request was ingested; 16 ingests at epoch 4 re-select and
+  // hot-swap at least once while the clients keep serving from pins.
+  EXPECT_EQ(r.ingested, 16u);
+  EXPECT_GT(r.reselections, 0u);
+  EXPECT_EQ(r.swaps_committed, r.reselections);
+}
+
 // ---------------------------------------------------------------------
 // Golden CSV/JSON.
 
@@ -218,6 +283,11 @@ LoadGenResult FixtureResult() {
   r.evictions = 2;
   r.rewrite_fallbacks = 1;
   r.failed_requests = 0;
+  r.drift = "churn";
+  r.online = true;
+  r.ingested = 80;
+  r.reselections = 5;
+  r.swaps_committed = 5;
   return r;
 }
 
@@ -235,7 +305,9 @@ TEST(LoadGenWriterTest, GoldenJson) {
       "\"select_utility\": 0.0625, \"select_timed_out\": false, "
       "\"view_budget_bytes\": 65536, \"store_bytes\": 4096, "
       "\"store_views\": 3, \"evictions\": 2, "
-      "\"rewrite_fallbacks\": 1, \"failed_requests\": 0}\n"
+      "\"rewrite_fallbacks\": 1, \"failed_requests\": 0, "
+      "\"drift\": \"churn\", \"online\": true, \"ingested\": 80, "
+      "\"reselections\": 5, \"swaps_committed\": 5}\n"
       "  ]\n"
       "}\n";
   EXPECT_EQ(ThroughputJson({FixtureResult()}), expected);
@@ -247,9 +319,10 @@ TEST(LoadGenWriterTest, GoldenCsv) {
       "requests,elapsed_s,qps,p50_ms,p95_ms,p99_ms,mean_ms,csr_shards,"
       "csr_bytes,peak_rss_mb,select_utility,select_timed_out,"
       "view_budget_bytes,store_bytes,store_views,evictions,"
-      "rewrite_fallbacks,failed_requests\n"
+      "rewrite_fallbacks,failed_requests,drift,online,ingested,"
+      "reselections,swaps_committed\n"
       "WK1,scaled,48,24,6,3,4,12345,80,0.062,1280.00,0.500,1.250,2.500,"
-      "0.625,2,150,10.5,0.0625,0,65536,4096,3,2,1,0\n";
+      "0.625,2,150,10.5,0.0625,0,65536,4096,3,2,1,0,churn,1,80,5,5\n";
   EXPECT_EQ(ThroughputCsv({FixtureResult()}), expected);
 }
 

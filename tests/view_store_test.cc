@@ -712,6 +712,29 @@ TEST_F(ViewStoreTest, FromEnvReadsBudget) {
   EXPECT_EQ(ViewStoreOptions::FromEnv().budget_bytes, 0u);
 }
 
+TEST_F(ViewStoreTest, FromEnvStrictRejectsMalformedBudget) {
+  // The strtoull-era parser silently wrapped "-1" to ~0 (effectively
+  // unbounded) and accepted trailing junk; the strict from_chars path
+  // is a loud ParseError for anything but a whole-string uint64.
+  for (const char* bad : {"-1", "12x", " 64", "not-a-number", "+5",
+                          "99999999999999999999999999"}) {
+    ASSERT_EQ(setenv("AUTOVIEW_VIEW_BUDGET_BYTES", bad, 1), 0);
+    const auto options = ViewStoreOptions::FromEnvStrict();
+    ASSERT_FALSE(options.ok()) << bad;
+    EXPECT_EQ(options.status().code(), StatusCode::kParseError) << bad;
+    // The lenient form logs and stays unlimited instead of failing.
+    EXPECT_EQ(ViewStoreOptions::FromEnv().budget_bytes, 0u) << bad;
+  }
+  ASSERT_EQ(setenv("AUTOVIEW_VIEW_BUDGET_BYTES", "4096", 1), 0);
+  const auto valid = ViewStoreOptions::FromEnvStrict();
+  ASSERT_TRUE(valid.ok());
+  EXPECT_EQ(valid.value().budget_bytes, 4096u);
+  ASSERT_EQ(unsetenv("AUTOVIEW_VIEW_BUDGET_BYTES"), 0);
+  const auto unset = ViewStoreOptions::FromEnvStrict();
+  ASSERT_TRUE(unset.ok());
+  EXPECT_EQ(unset.value().budget_bytes, 0u);
+}
+
 TEST_F(ViewStoreTest, OversizedViewIsRejectedOutright) {
   GlobalViewStore().Reset();
   Executor exec(&db_);
