@@ -1,168 +1,44 @@
 #!/bin/sh
 # Repro-lint: keeps the library bit-deterministic and its concurrency
-# discipline greppable. The paper's headline numbers (Eq. 3 flip
+# discipline checkable. The paper's headline numbers (Eq. 3 flip
 # probabilities, DQN reward = utility delta) are only reproducible when
 # every stochastic draw goes through the seeded Rng and no hidden clock
 # or allocator nondeterminism leaks into results, so this check fails
 # the build — not a code review — when a violation appears.
 #
-# Rules (library code under src/ only; tests/bench/examples are exempt):
+# Thin wrapper: the rules now run inside the project-native analyzer
+# `avcheck` (src/tools/), which lexes sources properly (comments and
+# string literals stripped, line numbers preserved) instead of the old
+# sed/awk pipeline. Rule semantics and path scoping are unchanged:
+#
 #   no-ambient-randomness   rand()/srand()/time()/clock()/random_device/
 #                           mt19937 outside src/util/random.* — use the
-#                           seeded autoview::Rng (std::steady_clock is
-#                           allowed: deadlines/counters only, never
-#                           results). The no-grad inference fast path
-#                           (nn::NoGradGuard, nn::MlpInference,
-#                           nn::MatMulTB) is explicitly in scope: it must
-#                           stay a pure function of the snapshotted
-#                           weights, or its bit-identity contract with
-#                           the autograd Forward path breaks silently.
+#                           seeded autoview::Rng. The no-grad inference
+#                           fast path is explicitly in scope.
 #   no-naked-new            `new`/`delete` unless the allocation is
 #                           owned on the same line (shared_ptr/
-#                           unique_ptr/make_*); applies to src/nn/ too —
-#                           tensor and inference buffers are
-#                           std::vector-owned
+#                           unique_ptr/make_*)
 #   no-cout                 std::cout in library code — use AV_LOG or
 #                           return data; stdout belongs to the harnesses
 #   no-raw-mutex            std::mutex / std::condition_variable outside
 #                           util/annotations.h — use the annotated
-#                           autoview::Mutex/CondVar so clang
-#                           -Wthread-safety can see every lock
+#                           autoview::Mutex/CondVar
 #   mutex-annotated         every Mutex member must sit within 8 lines
 #                           of an AV_GUARDED_BY / AV_REQUIRES /
-#                           AV_ACQUIRE user, so the guarded-state map
-#                           stays readable at the declaration site
-#   engine-io-confined      raw FILE I/O (fopen/fwrite/fread/rename/
-#                           remove) inside src/engine/ is confined to
-#                           view_store_log.cc — the WAL is the one
-#                           place the engine touches disk, so crash
-#                           injection (viewstore.wal_append/wal_replay)
-#                           provably covers every engine write path
+#                           AV_ACQUIRE user
+#   engine-io-confined      raw FILE I/O inside src/engine/ is confined
+#                           to view_store_log.cc — the WAL is the one
+#                           place the engine touches disk
 #   advisor-clock-seam      src/core/advisor.* must never read ambient
-#                           time: no std::chrono / steady_clock /
-#                           system_clock and no self-made Deadline —
-#                           deadlines flow exclusively through the
-#                           injected autoview::Clock (util/clock.h), so
-#                           a ManualClock replay of an ingest/trigger/
-#                           re-selection sequence stays bit-reproducible
+#                           time; deadlines flow exclusively through the
+#                           injected autoview::Clock
+#   loadgen-seed-flow       every Rng constructed in src/bench/ must be
+#                           derived from a seed variable
 #
-# Exit: 0 clean, 1 violations (never skips — needs only POSIX sh).
+# Exit: 0 clean, 1 violations, 77 avcheck binary not built yet.
 set -u
 
 . "$(dirname "$0")/lint_common.sh"
 
-av_grep_rule \
-  '(^|[^_[:alnum:]])(rand|srand|time|clock)[[:space:]]*\(|std::random_device|mt19937' \
-  'no-ambient-randomness' \
-  'draw from the seeded autoview::Rng (src/util/random.h) instead' \
-  '^src/util/random\.(h|cc)$'
-
-av_grep_rule \
-  'std::cout' \
-  'no-cout' \
-  'library code must not write to stdout; use AV_LOG or return data'
-
-av_grep_rule \
-  'std::(mutex|shared_mutex|recursive_mutex|condition_variable)' \
-  'no-raw-mutex' \
-  'use the annotated autoview::Mutex / CondVar from util/annotations.h' \
-  '^src/util/annotations\.h$'
-
-# Naked new/delete: same-line smart-pointer ownership is fine. src/nn/
-# is covered too: the tensor graph and the no-grad inference fast path
-# both keep their buffers in std::vector, so any naked allocation there
-# is a regression, not an idiom.
-for f in $(av_src_files); do
-  rel=${f#"$av_root"/}
-  out=$(av_strip_comments "$f" |
-        grep -nE '(^|[^_[:alnum:]])new[[:space:]]+[A-Za-z_]|(^|[^_[:alnum:]])delete([[:space:]]|\[)' |
-        grep -vE 'shared_ptr<|unique_ptr<|make_shared|make_unique|=[[:space:]]*delete') || continue
-  while IFS= read -r line; do
-    av_fail "$rel" "${line%%:*}" "${line#*:}" 'no-naked-new'
-  done <<EOF
-$out
-EOF
-done
-
-# Loadgen seed flow: every Rng the load generator constructs must be
-# derived from a seed variable (ultimately LoadGenConfig::seed — the
-# harness contract is that one --seed flag reproduces a whole run).
-# A literal-seeded or default-constructed Rng in src/bench/ would make
-# the "deterministic schedule" tests meaningless, so any `Rng x(...)`
-# whose argument does not mention a seed fails the build.
-for f in $(av_src_files); do
-  rel=${f#"$av_root"/}
-  case "$rel" in src/bench/*) ;; *) continue ;; esac
-  out=$(av_strip_comments "$f" |
-        grep -nE '(^|[^_[:alnum:]])Rng[[:space:]]+[A-Za-z_]+\(' |
-        grep -vE 'Rng[[:space:]]+[A-Za-z_]+\([^)]*[Ss]eed') || continue
-  while IFS= read -r line; do
-    av_fail "$rel" "${line%%:*}" "${line#*:}" 'loadgen-seed-flow'
-  done <<EOF
-$out
-EOF
-done
-
-# Advisor clock seam: the online advisor's trigger/re-selection path is
-# replayable only because every deadline comes from the injected Clock.
-# A direct chrono read or a Deadline constructed in place (AfterMillis/
-# AfterSeconds/Infinite) would bypass the seam and make ManualClock
-# replays diverge from production runs.
-for f in $(av_src_files); do
-  rel=${f#"$av_root"/}
-  case "$rel" in src/core/advisor.h | src/core/advisor.cc) ;; *) continue ;; esac
-  out=$(av_strip_comments "$f" |
-        grep -nE 'std::chrono|steady_clock|system_clock|Deadline::(AfterMillis|AfterSeconds|Infinite)') || continue
-  while IFS= read -r line; do
-    av_fail "$rel" "${line%%:*}" "${line#*:}" 'advisor-clock-seam'
-  done <<EOF
-$out
-EOF
-done
-
-# Engine disk I/O stays behind the WAL: any raw stdio call in
-# src/engine/ outside view_store_log.cc would dodge the failpoint
-# coverage the crash-recovery tests rely on.
-for f in $(av_src_files); do
-  rel=${f#"$av_root"/}
-  case "$rel" in
-    src/engine/view_store_log.cc) continue ;;
-    src/engine/*) ;;
-    *) continue ;;
-  esac
-  out=$(av_strip_comments "$f" |
-        grep -nE '(^|[^_[:alnum:]])(std::)?(fopen|fwrite|fread|fprintf|rename|remove)[[:space:]]*\(') || continue
-  while IFS= read -r line; do
-    av_fail "$rel" "${line%%:*}" "${line#*:}" 'engine-io-confined'
-  done <<EOF
-$out
-EOF
-done
-
-# Mutex members must be annotated nearby: a Mutex declaration with no
-# AV_GUARDED_BY / AV_REQUIRES / AV_ACQUIRE user within +/-8 lines means
-# nobody wrote down what it protects.
-for f in $(av_src_files); do
-  rel=${f#"$av_root"/}
-  case "$rel" in src/util/annotations.h) continue ;; esac
-  orphans=$(awk '
-    /(^|[[:space:]])Mutex[[:space:]]+[A-Za-z_]+_[[:space:]]*;/ {
-      decl[++n] = NR; text[n] = $0
-    }
-    /AV_GUARDED_BY|AV_PT_GUARDED_BY|AV_REQUIRES|AV_ACQUIRE/ { user[NR] = 1 }
-    END {
-      for (i = 1; i <= n; i++) {
-        ok = 0
-        for (l = decl[i] - 8; l <= decl[i] + 8; l++) if (l in user) ok = 1
-        if (!ok) printf "%d:%s\n", decl[i], text[i]
-      }
-    }' "$f") || true
-  [ -z "$orphans" ] && continue
-  while IFS= read -r line; do
-    av_fail "$rel" "${line%%:*}" "${line#*:}" 'mutex-annotated'
-  done <<EOF
-$orphans
-EOF
-done
-
-av_report "determinism lint"
+av_run_avcheck "determinism lint" \
+  "no-ambient-randomness,no-cout,no-raw-mutex,no-naked-new,mutex-annotated,engine-io-confined,advisor-clock-seam,loadgen-seed-flow"

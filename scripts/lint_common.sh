@@ -1,88 +1,61 @@
 #!/bin/sh
-# Shared plumbing for the repo's grep-based repro-lints (sourced, not
-# executed). Every lint is AST-free on purpose: the checks must run on
-# any POSIX box with no clang available, so they can gate ctest's `lint`
-# tier everywhere while the clang-only analyses (thread-safety,
-# clang-tidy) skip gracefully where the toolchain is missing.
+# Shared plumbing for the repo's lint wrappers (sourced, not executed).
+#
+# The grep/sed/awk rule engine that used to live here was replaced by
+# the project-native analyzer `avcheck` (src/tools/): a real lexer that
+# strips comments/strings with line numbers preserved, plus scope and
+# signature tracking that pattern-matching cannot do. The shell scripts
+# remain as thin wrappers so existing entry points (ctest `lint` label,
+# scripts/run_static_analysis.sh, direct invocation) keep working.
 #
 # Provides:
-#   av_root                — absolute repo root
-#   av_src_files           — the library sources the lints police
-#   av_strip_comments FILE — file content with // and /* */ comments and
-#                            string literals blanked (line count kept,
-#                            so reported line numbers stay real)
-#   av_fail / av_report    — accumulate and print violations
+#   av_root         — absolute repo root
+#   av_find_avcheck — prints the avcheck binary path, or returns 1.
+#                     Honors $AVCHECK_BIN (set by ctest), then searches
+#                     the conventional build directories.
+#   av_run_avcheck  — runs a named check list over src/, mapping exit
+#                     codes to the lint convention below.
 #
 # Exit-code convention for lint scripts: 0 pass, 1 violations found,
-# 77 toolchain unavailable (ctest SKIP_RETURN_CODE).
+# 77 tool unavailable (ctest SKIP_RETURN_CODE).
 
 av_root=$(CDPATH= cd -- "$(dirname "$0")/.." && pwd)
 
-av_failures=0
-
-# All library sources. Tests/bench/examples are exempt: they are allowed
-# printf-debugging, wall clocks, and ad-hoc allocation.
-av_src_files() {
-  find "$av_root/src" -type f \( -name '*.h' -o -name '*.cc' \) | LC_ALL=C sort
-}
-
-# Blank out // comments, /* */ comments, and the contents of string
-# literals so prose like "busy wall time (ns)" cannot trip a code-only
-# pattern. Line structure is preserved; multi-line /* */ bodies are
-# blanked per line. Not a full lexer — good enough for lint patterns
-# that target call syntax.
-av_strip_comments() {
-  sed -e 's/"[^"]*"/""/g' \
-      -e 's|//.*||' \
-      -e 's|/\*.*\*/||g' \
-      "$1" |
-  awk '
-    /\/\*/ { print ""; inblock=1; next }
-    inblock && /\*\// { inblock=0; print ""; next }
-    inblock { print ""; next }
-    { print }
-  '
-}
-
-# av_fail <file> <lineno> <line> <rule> — records one violation.
-av_fail() {
-  printf '%s:%s: [%s]\n    %s\n' "$1" "$2" "$4" "$3" >&2
-  av_failures=$((av_failures + 1))
-}
-
-# av_grep_rule <pattern> <rule-name> <hint> [exclude-path-regex]
-# Greps the comment-stripped library sources for <pattern> and records a
-# violation per hit. Paths matching the optional exclude regex are
-# allowlisted.
-av_grep_rule() {
-  pattern=$1 rule=$2 hint=$3 exclude=${4:-'^$'}
-  hits=0
-  for f in $(av_src_files); do
-    case "$f" in
-      *" "*) echo "path with spaces unsupported: $f" >&2; exit 2 ;;
-    esac
-    if printf '%s' "${f#"$av_root"/}" | grep -Eq "$exclude"; then
-      continue
+av_find_avcheck() {
+  if [ -n "${AVCHECK_BIN:-}" ] && [ -x "${AVCHECK_BIN}" ]; then
+    printf '%s\n' "${AVCHECK_BIN}"
+    return 0
+  fi
+  for candidate in "$av_root"/build*/avcheck "$av_root"/build*/src/avcheck; do
+    if [ -x "$candidate" ]; then
+      printf '%s\n' "$candidate"
+      return 0
     fi
-    out=$(av_strip_comments "$f" | grep -nE "$pattern") || continue
-    while IFS= read -r line; do
-      av_fail "${f#"$av_root"/}" "${line%%:*}" "${line#*:}" "$rule"
-      hits=$((hits + 1))
-    done <<EOF
-$out
-EOF
   done
-  if [ "$hits" -gt 0 ]; then
-    echo "hint [$rule]: $hint" >&2
-  fi
+  return 1
 }
 
-# av_report <lint-name> — prints the verdict and returns the exit code.
-av_report() {
-  if [ "$av_failures" -gt 0 ]; then
-    echo "FAIL: $1 found $av_failures violation(s)" >&2
-    return 1
+# av_run_avcheck <lint-name> <comma-separated-checks>
+# Runs avcheck over src/ with the given check list, translating its
+# exit codes into the lint convention above. SKIPs (77) when no binary
+# has been built yet — ctest reports that as a skip, not a pass.
+av_run_avcheck() {
+  lint_name=$1
+  checks=$2
+  if ! bin=$(av_find_avcheck); then
+    echo "SKIP: $lint_name — avcheck binary not built" \
+         "(cmake --build <build-dir> --target avcheck)" >&2
+    return 77
   fi
-  echo "OK: $1 clean"
-  return 0
+  if "$bin" --root="$av_root" --checks="$checks"; then
+    echo "OK: $lint_name clean"
+    return 0
+  fi
+  code=$?
+  if [ "$code" -eq 1 ]; then
+    echo "FAIL: $lint_name found violations (see above)" >&2
+  else
+    echo "FAIL: $lint_name — avcheck exited with code $code" >&2
+  fi
+  return 1
 }

@@ -5,11 +5,16 @@
 #   scripts/run_static_analysis.sh
 #
 # Runs, in order of increasing cost:
-#   1. check_determinism.sh      repro-lints (POSIX grep; always runs)
-#   2. check_no_naked_abort.sh   Status-discipline lint (always runs)
-#   3. check_thread_safety.sh    clang -Wthread-safety -Werror build
+#   1. check_determinism.sh      repro-lints, via avcheck (SKIPs until
+#                                the avcheck binary is built)
+#   2. check_no_naked_abort.sh   Status-discipline lint, via avcheck
+#   3. avcheck semantic checks   lock-order cycles, blocking-under-lock,
+#                                discarded Status, atomic-ordering
+#                                rationales (src/tools/; SKIPs until
+#                                the binary is built)
+#   4. check_thread_safety.sh    clang -Wthread-safety -Werror build
 #                                (SKIPs without clang)
-#   4. run_clang_tidy.sh         curated .clang-tidy over src/
+#   5. run_clang_tidy.sh         curated .clang-tidy over src/
 #                                (SKIPs without clang-tidy)
 #
 # A SKIP (exit 77 from a sub-check) is reported but does not fail the
@@ -37,8 +42,15 @@ run_check() {
   fi
 }
 
+avcheck_semantic() {
+  . "$here/lint_common.sh"
+  av_run_avcheck "avcheck semantic checks" \
+    "lock-order,blocking-under-lock,discarded-status,atomic-ordering"
+}
+
 run_check "determinism repro-lints" sh "$here/check_determinism.sh"
 run_check "no-naked-abort lint" sh "$here/check_no_naked_abort.sh"
+run_check "avcheck semantic checks" avcheck_semantic
 run_check "clang thread-safety analysis" sh "$here/check_thread_safety.sh"
 run_check "clang-tidy" sh "$here/run_clang_tidy.sh"
 

@@ -20,6 +20,7 @@
 #include "ilp/problem_index.h"
 #include "plan/builder.h"
 #include "select/iterview.h"
+#include "util/logging.h"
 #include "subquery/clusterer.h"
 #include "util/metrics.h"
 #include "util/parse.h"
@@ -257,7 +258,12 @@ struct ClientTask {
       // thread, but other clients keep serving from their pins — the
       // measured latency is the request itself, which never blocks on a
       // re-selection.
-      advisor->IngestSql(workload->sql[query_index]).status();
+      // An ingest failure is advisory-only: the request still serves
+      // against the current view set, it just misses one window update.
+      Status ingest = advisor->IngestSql(workload->sql[query_index]).status();
+      if (!ingest.ok()) {
+        AV_LOG(Warning) << "online ingest failed: " << ingest.ToString();
+      }
     }
     const auto start = SteadyClock::now();
     PlanBuilder builder(&workload->db->catalog());

@@ -93,6 +93,9 @@ Result<const MaterializedView*> MaterializedViewStore::Materialize(
         MaterializedView retagged = entry.view;
         retagged.generation = mopts.generation;
         retagged.utility = mopts.utility;
+        // avcheck:allow(blocking-under-lock): WAL append under mu_ is
+        // the commit point — the record and the in-memory re-tag must
+        // be atomic w.r.t. concurrent readers and crash recovery.
         if (log_) AV_RETURN_NOT_OK(log_->Append(MaterializeRecord(retagged)));
         entry.view.generation = retagged.generation;
         entry.view.utility = retagged.utility;
@@ -161,6 +164,8 @@ Result<const MaterializedView*> MaterializedViewStore::InstallLocked(
   if (log_) {
     // The WAL append is the commit point; a failed append rolls the
     // table back so memory and log agree on the committed set.
+    // avcheck:allow(blocking-under-lock): append-under-mu_ is that
+    // commit point — record and in-memory install must be atomic.
     if (Status s = log_->Append(MaterializeRecord(view)); !s.ok()) {
       Status dropped = db_->DropTable(view.table_name);
       if (!dropped.ok()) {
@@ -275,6 +280,9 @@ Status MaterializedViewStore::DoomLocked(EntryMap::iterator it) {
     ViewLogRecord record;
     record.kind = ViewLogRecord::Kind::kDrop;
     record.id = entry.view.id;
+    // avcheck:allow(blocking-under-lock): WAL append under mu_ is the
+    // commit point — the drop record must land before the in-memory
+    // erase becomes visible, or recovery resurrects the view.
     AV_RETURN_NOT_OK(log_->Append(record));
   }
   by_key_.erase(entry.view.canonical_key);
@@ -344,6 +352,8 @@ std::future<Status> MaterializedViewStore::MaterializeAsync(
 
 void MaterializedViewStore::WaitIdle() const {
   MutexLock lock(mu_);
+  // avcheck:allow(blocking-under-lock): CondVar::Wait releases mu_
+  // while parked; blocking until builds drain is this method's purpose.
   while (async_inflight_ > 0) idle_cv_.Wait(mu_);
 }
 
@@ -398,6 +408,9 @@ Status MaterializedViewStore::CommitSwap(uint64_t generation) {
     record.kind = ViewLogRecord::Kind::kCheckpoint;
     record.generation = generation;
     record.next_id = next_id_;
+    // avcheck:allow(blocking-under-lock): WAL append under mu_ is the
+    // commit point — the generation bump and its checkpoint record
+    // must be atomic w.r.t. concurrent swaps and crash recovery.
     AV_RETURN_NOT_OK(log_->Append(record));
   }
   generation_ = generation;
@@ -455,6 +468,9 @@ Status MaterializedViewStore::Checkpoint() const {
   for (const auto& [_, entry] : by_id_) {
     if (!entry.doomed) records.push_back(MaterializeRecord(entry.view));
   }
+  // avcheck:allow(blocking-under-lock): the checkpoint must snapshot a
+  // frozen entry map; writing it under mu_ is the whole point of the
+  // stop-the-world compaction (builds are quiesced by the caller).
   return ViewStateLog::WriteCheckpoint(log_->path(), records);
 }
 
@@ -583,6 +599,8 @@ Result<RecoveryReport> MaterializedViewStore::Recover(
       ViewLogRecord drop;
       drop.kind = ViewLogRecord::Kind::kDrop;
       drop.id = id;
+      // avcheck:allow(blocking-under-lock): recovery-time WAL append
+      // under mu_ is the commit point for pruning the dead entry.
       AV_RETURN_NOT_OK(log_->Append(drop));
       continue;
     }
@@ -604,6 +622,8 @@ Result<RecoveryReport> MaterializedViewStore::Recover(
           ViewLogRecord drop;
           drop.kind = ViewLogRecord::Kind::kDrop;
           drop.id = rec.id;
+          // avcheck:allow(blocking-under-lock): WAL append under mu_
+          // is the commit point for dropping the failed rebuild.
           if (Status ds = log_->Append(drop); !ds.ok()) {
             AV_LOG(Warning) << "drop record append failed: " << ds.ToString();
           }
@@ -621,6 +641,8 @@ Result<RecoveryReport> MaterializedViewStore::Recover(
         ViewLogRecord drop;
         drop.kind = ViewLogRecord::Kind::kDrop;
         drop.id = id;
+        // avcheck:allow(blocking-under-lock): recovery-time WAL append
+        // under mu_ is the commit point for dropping the failed build.
         AV_RETURN_NOT_OK(log_->Append(drop));
       }
     }

@@ -1,0 +1,45 @@
+#include "tools/avcheck.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace autoview {
+namespace tools {
+
+Result<std::vector<SourceFile>> LoadSourceTree(const std::string& root) {
+  namespace fs = std::filesystem;
+  const fs::path src = fs::path(root) / "src";
+  std::error_code ec;
+  if (!fs::is_directory(src, ec)) {
+    return Status::NotFound("no src/ directory under " + root);
+  }
+  std::vector<SourceFile> out;
+  for (fs::recursive_directory_iterator it(src, ec), end; it != end;
+       it.increment(ec)) {
+    if (ec) return Status::Internal("walking " + src.string() + ": " +
+                                    ec.message());
+    if (!it->is_regular_file()) continue;
+    const fs::path& p = it->path();
+    const std::string ext = p.extension().string();
+    if (ext != ".h" && ext != ".cc") continue;
+    std::ifstream in(p, std::ios::binary);
+    if (!in) return Status::Internal("cannot open " + p.string());
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    SourceFile file;
+    file.path = fs::relative(p, fs::path(root), ec).generic_string();
+    if (ec || file.path.empty()) file.path = p.generic_string();
+    file.content = buffer.str();
+    out.push_back(std::move(file));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.path < b.path;
+            });
+  return out;
+}
+
+}  // namespace tools
+}  // namespace autoview

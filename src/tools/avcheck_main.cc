@@ -1,0 +1,138 @@
+// avcheck — project-native static analyzer for the autoview codebase.
+//
+// Usage:
+//   avcheck [--root=DIR] [--checks=a,b,c] [--list-checks] [paths...]
+//
+// With no paths, analyzes every *.h / *.cc under <root>/src (root
+// defaults to the current directory, searching upward for a src/
+// tree). With explicit paths, analyzes exactly those files — the
+// cross-file harvest then only sees what was passed, which is how the
+// test fixtures drive single-file probes.
+//
+// Exit: 0 clean, 1 findings, 2 usage/setup error.
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/avcheck.h"
+
+namespace {
+
+using autoview::Result;
+using autoview::tools::AllCheckNames;
+using autoview::tools::Finding;
+using autoview::tools::LoadSourceTree;
+using autoview::tools::RunChecks;
+using autoview::tools::SourceFile;
+
+std::vector<std::string> SplitCommas(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  std::istringstream in(s);
+  while (std::getline(in, cur, ',')) {
+    if (!cur.empty()) out.push_back(cur);
+  }
+  return out;
+}
+
+/// Finds the repo root: the nearest ancestor of `start` containing a
+/// src/ directory.
+std::string FindRoot(const std::string& start) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::path p = fs::absolute(start, ec);
+  while (!p.empty()) {
+    if (fs::is_directory(p / "src", ec)) return p.string();
+    if (p == p.parent_path()) break;
+    p = p.parent_path();
+  }
+  return "";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  bool root_set = false;
+  std::vector<std::string> checks;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--root=", 0) == 0) {
+      root = arg.substr(7);
+      root_set = true;
+    } else if (arg.rfind("--checks=", 0) == 0) {
+      checks = SplitCommas(arg.substr(9));
+    } else if (arg == "--list-checks") {
+      for (const std::string& name : AllCheckNames()) {
+        std::printf("%s\n", name.c_str());
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: avcheck [--root=DIR] [--checks=a,b,c] [--list-checks] "
+          "[paths...]\n");
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "avcheck: unknown flag %s\n", arg.c_str());
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  std::vector<SourceFile> files;
+  if (paths.empty()) {
+    if (!root_set) {
+      const std::string found = FindRoot(root);
+      if (found.empty()) {
+        std::fprintf(stderr, "avcheck: no src/ tree found; pass --root\n");
+        return 2;
+      }
+      root = found;
+    }
+    Result<std::vector<SourceFile>> loaded = LoadSourceTree(root);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "avcheck: %s\n",
+                   loaded.status().ToString().c_str());
+      return 2;
+    }
+    files = std::move(loaded).value();
+  } else {
+    for (const std::string& path : paths) {
+      std::ifstream in(path, std::ios::binary);
+      if (!in) {
+        std::fprintf(stderr, "avcheck: cannot open %s\n", path.c_str());
+        return 2;
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      files.push_back({path, buffer.str()});
+    }
+  }
+
+  Result<std::vector<Finding>> findings = RunChecks(files, checks);
+  if (!findings.ok()) {
+    std::fprintf(stderr, "avcheck: %s\n",
+                 findings.status().ToString().c_str());
+    return 2;
+  }
+  const std::vector<Finding>& found = findings.value();
+  for (const Finding& f : found) {
+    std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.check.c_str(),
+                f.message.c_str());
+  }
+  if (!found.empty()) {
+    std::fprintf(stderr, "avcheck: %zu finding(s) over %zu file(s)\n",
+                 found.size(), files.size());
+    return 1;
+  }
+  std::printf("avcheck: clean (%zu files)\n", files.size());
+  return 0;
+}

@@ -1,0 +1,407 @@
+#include "tools/harvest.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace autoview {
+namespace tools {
+
+namespace {
+
+bool IsIdent(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+std::vector<std::string> IdentTokens(const std::string& s) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < s.size()) {
+    if (!IsIdent(s[i])) {
+      ++i;
+      continue;
+    }
+    size_t b = i;
+    while (i < s.size() && IsIdent(s[i])) ++i;
+    out.push_back(s.substr(b, i - b));
+  }
+  return out;
+}
+
+bool IsQualifierToken(const std::string& t) {
+  return t == "static" || t == "virtual" || t == "inline" ||
+         t == "explicit" || t == "constexpr" || t == "friend" ||
+         t == "mutable" || t == "extern" || t == "nodiscard" ||
+         t == "maybe_unused" || t.rfind("AV_", 0) == 0;
+}
+
+/// Same helper as in scopes.cc: identifier chain before the first
+/// paren that is not nested in template angle brackets.
+std::string NameChain(const std::string& h) {
+  int angle = 0;
+  size_t paren = std::string::npos;
+  for (size_t i = 0; i < h.size(); ++i) {
+    if (h[i] == '<') ++angle;
+    if (h[i] == '>' && angle > 0) --angle;
+    if (h[i] == '(' && angle == 0) {
+      paren = i;
+      break;
+    }
+  }
+  if (paren == std::string::npos) return "";
+  size_t e = paren;
+  while (e > 0 && (h[e - 1] == ' ' || h[e - 1] == '\t')) --e;
+  size_t b = e;
+  while (b > 0 && (IsIdent(h[b - 1]) || h[b - 1] == ':' || h[b - 1] == '~')) {
+    --b;
+  }
+  return h.substr(b, e - b);
+}
+
+/// Return-type classification of the text preceding the function name:
+/// the first identifier token after qualifiers.
+void ClassifyReturn(const std::string& prefix, bool* status, bool* result) {
+  *status = false;
+  *result = false;
+  for (const std::string& t : IdentTokens(prefix)) {
+    if (IsQualifierToken(t)) continue;
+    *status = (t == "Status");
+    *result = (t == "Result");
+    return;
+  }
+}
+
+/// Strips trailing `{...}` brace initializers, `= ...` initializers,
+/// and trailing AV_* attribute macro calls from a member declaration.
+std::string StripDeclTail(std::string s) {
+  for (;;) {
+    s = Trim(s);
+    if (s.empty()) return s;
+    if (s.back() == '}') {
+      int depth = 0;
+      size_t i = s.size();
+      while (i > 0) {
+        --i;
+        if (s[i] == '}') ++depth;
+        if (s[i] == '{' && --depth == 0) break;
+      }
+      s = s.substr(0, i);
+      continue;
+    }
+    if (s.back() == ')') {
+      int depth = 0;
+      size_t i = s.size();
+      while (i > 0) {
+        --i;
+        if (s[i] == ')') ++depth;
+        if (s[i] == '(' && --depth == 0) break;
+      }
+      size_t e = i;
+      while (e > 0 && (s[e - 1] == ' ' || s[e - 1] == '\t')) --e;
+      size_t b = e;
+      while (b > 0 && IsIdent(s[b - 1])) --b;
+      const std::string macro = s.substr(b, e - b);
+      if (macro.rfind("AV_", 0) == 0) {
+        s = s.substr(0, b);
+        continue;
+      }
+      return s;
+    }
+    // `= value` initializer.
+    int depth = 0;
+    for (size_t i = 0; i < s.size(); ++i) {
+      if (s[i] == '(' || s[i] == '<' || s[i] == '[') ++depth;
+      if (s[i] == ')' || s[i] == '>' || s[i] == ']') --depth;
+      if (s[i] == '=' && depth == 0) {
+        // Not part of ==, <=, >=, !=.
+        const char prev = i > 0 ? s[i - 1] : '\0';
+        const char next = i + 1 < s.size() ? s[i + 1] : '\0';
+        if (prev != '=' && prev != '<' && prev != '>' && prev != '!' &&
+            next != '=') {
+          return Trim(s.substr(0, i));
+        }
+      }
+    }
+    return s;
+  }
+}
+
+bool SkippedStatement(const std::string& t) {
+  static const char* kPrefixes[] = {"using",  "typedef", "friend",
+                                    "static_assert", "return", "throw",
+                                    "goto",   "break",   "continue"};
+  for (const char* p : kPrefixes) {
+    const size_t n = std::char_traits<char>::length(p);
+    if (t.compare(0, n, p) == 0 && (t.size() == n || !IsIdent(t[n]))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+// (defined after the helper namespace so helpers above stay internal)
+bool OrderingRationaleNear(const LexedFile& lexed, int lo, int hi) {
+  lo = std::max(1, lo);
+  hi = std::min(hi, static_cast<int>(lexed.lines.size()));
+  for (int ln = lo; ln <= hi; ++ln) {
+    std::string c = lexed.lines[ln - 1].comment;
+    std::transform(c.begin(), c.end(), c.begin(), [](unsigned char ch) {
+      return static_cast<char>(std::tolower(ch));
+    });
+    for (const char* kw : {"relaxed", "acquire", "release", "seq_cst",
+                           "ordering", "memory order", "memory_order",
+                           "monoton"}) {
+      if (c.find(kw) != std::string::npos) return true;
+    }
+  }
+  return false;
+}
+
+std::string TerminalTypeName(const std::string& decl_type) {
+  static const char* kGeneric[] = {
+      "const",    "mutable",       "std",          "unique_ptr",
+      "shared_ptr", "weak_ptr",    "vector",       "deque",
+      "map",      "unordered_map", "set",          "unordered_set",
+      "optional", "pair",          "atomic",       "function",
+      "size_t",   "uint8_t",       "uint16_t",     "uint32_t",
+      "uint64_t", "int8_t",        "int16_t",      "int32_t",
+      "int64_t",  "string",        "string_view",  "bool",
+      "int",      "unsigned",      "long",         "double",
+      "float",    "char",          "void",         "auto"};
+  std::string last;
+  for (const std::string& t : IdentTokens(decl_type)) {
+    bool generic = false;
+    for (const char* g : kGeneric) {
+      if (t == g) {
+        generic = true;
+        break;
+      }
+    }
+    if (!generic && !IsQualifierToken(t)) last = t;
+  }
+  return last;
+}
+
+void Harvest::MarkBlocking(const std::string& name, const std::string& cls) {
+  auto range = functions.equal_range(name);
+  for (auto it = range.first; it != range.second; ++it) {
+    if (cls.empty() || it->second.cls.empty() || it->second.cls == cls) {
+      it->second.blocking = true;
+    }
+  }
+}
+
+std::vector<const FunctionSig*> Harvest::Find(const std::string& name,
+                                              const std::string& cls) const {
+  std::vector<const FunctionSig*> out;
+  auto range = functions.equal_range(name);
+  for (auto it = range.first; it != range.second; ++it) {
+    if (!cls.empty() && !it->second.cls.empty() && it->second.cls != cls) {
+      continue;
+    }
+    out.push_back(&it->second);
+  }
+  return out;
+}
+
+std::string Harvest::ResolveReceiverClass(const std::string& receiver,
+                                          const std::string& ctx_cls) const {
+  if (receiver.empty() || receiver == "this") return ctx_cls;
+  if (!ctx_cls.empty()) {
+    auto it = member_types.find({ctx_cls, receiver});
+    if (it != member_types.end()) return it->second;
+  }
+  std::string unique;
+  for (const auto& entry : member_types) {
+    if (entry.first.second != receiver) continue;
+    if (!unique.empty() && unique != entry.second) return "";
+    unique = entry.second;
+  }
+  return unique;
+}
+
+bool Harvest::UnanimouslyReturnsStatus(const std::string& name,
+                                       const std::string& cls) const {
+  std::vector<const FunctionSig*> sigs = Find(name, cls);
+  if (sigs.empty()) return false;
+  for (const FunctionSig* sig : sigs) {
+    if (!sig->returns_status && !sig->returns_result) return false;
+  }
+  return true;
+}
+
+namespace {
+
+struct FileHarvester {
+  const LexedFile& lexed;
+  Harvest* out;
+  std::vector<AtomicDecl*> file_atomics;
+
+  void HarvestFunctionScope(const Scope& fn) {
+    if (fn.name.empty()) return;
+    FunctionSig sig;
+    sig.cls = fn.cls;
+    sig.name = fn.name;
+    sig.file = lexed.path;
+    sig.line = fn.header_line;
+    const std::string chain = NameChain(fn.header);
+    const size_t pos = fn.header.find(chain);
+    const std::string prefix =
+        (chain.empty() || pos == std::string::npos)
+            ? fn.header
+            : fn.header.substr(0, pos);
+    ClassifyReturn(prefix, &sig.returns_status, &sig.returns_result);
+    sig.requires_locks = fn.requires_locks;
+    sig.excludes_locks = fn.excludes_locks;
+    out->functions.emplace(sig.name, std::move(sig));
+  }
+
+  void HarvestStatement(const Statement& stmt, const std::string& cls,
+                        bool class_scope) {
+    std::string text = stmt.text;
+    const std::string kPartial = " /*partial*/";
+    if (text.size() >= kPartial.size() &&
+        text.compare(text.size() - kPartial.size(), kPartial.size(),
+                     kPartial) == 0) {
+      return;
+    }
+    text = Trim(text);
+    if (text.empty() || SkippedStatement(text)) return;
+
+    const std::string chain = NameChain(text);
+    if (!chain.empty() && IsIdent(chain[0])) {
+      // Function declaration (or constructor / macro invocation).
+      FunctionSig sig;
+      const size_t sep = chain.rfind("::");
+      if (sep != std::string::npos) {
+        sig.cls = chain.substr(0, sep);
+        sig.name = chain.substr(sep + 2);
+      } else {
+        sig.cls = cls;
+        sig.name = chain;
+      }
+      sig.file = lexed.path;
+      sig.line = stmt.line;
+      const size_t pos = text.find(chain);
+      ClassifyReturn(pos == std::string::npos ? "" : text.substr(0, pos),
+                     &sig.returns_status, &sig.returns_result);
+      for (const std::string& arg :
+           SplitTopLevelArgs(MacroArgs(text, "AV_REQUIRES"))) {
+        sig.requires_locks.push_back(arg);
+      }
+      for (const std::string& arg :
+           SplitTopLevelArgs(MacroArgs(text, "AV_EXCLUDES"))) {
+        sig.excludes_locks.push_back(arg);
+      }
+      out->functions.emplace(sig.name, std::move(sig));
+      return;
+    }
+
+    // Member / variable declaration: `type name [init] [AV_macro]`.
+    const std::string stripped = StripDeclTail(text);
+    if (stripped.empty() || !IsIdent(stripped.back())) return;
+    size_t b = stripped.size();
+    while (b > 0 && IsIdent(stripped[b - 1])) --b;
+    const std::string name = stripped.substr(b);
+    const std::string type_text = Trim(stripped.substr(0, b));
+    if (name.empty() || type_text.empty()) return;
+    if (std::isdigit(static_cast<unsigned char>(name[0]))) return;
+
+    const bool is_atomic = ContainsToken(type_text, "atomic") ||
+                           ContainsToken(type_text, "atomic_flag");
+    if (class_scope && !cls.empty()) {
+      const std::string type = TerminalTypeName(type_text);
+      if (!type.empty()) out->member_types[{cls, name}] = type;
+    }
+    if (is_atomic) {
+      AtomicDecl decl;
+      decl.cls = cls;
+      decl.name = name;
+      decl.file = lexed.path;
+      decl.line = stmt.line;
+      // The rationale block may be long: walk up through the
+      // contiguous run of comment lines directly above the decl.
+      int lo = stmt.line;
+      while (lo > 1 && stmt.line - lo < 24 &&
+             lo - 2 < static_cast<int>(lexed.lines.size()) &&
+             !lexed.lines[lo - 2].comment.empty()) {
+        --lo;
+      }
+      decl.has_rationale =
+          OrderingRationaleNear(lexed, std::min(lo, stmt.line - 2),
+                                stmt.line);
+      auto it = out->atomics.emplace(decl.name, std::move(decl));
+      file_atomics.push_back(&it->second);
+    }
+  }
+
+  void Walk(const Scope& scope, const std::string& cls) {
+    // Declarations live only in file / namespace / class scopes.  A
+    // statement inside a function body (`F();`) is a *call*, and
+    // indexing it as a decl would shadow the real signature of F.
+    const bool decl_scope = scope.kind == Scope::Kind::kFile ||
+                            scope.kind == Scope::Kind::kNamespace ||
+                            scope.kind == Scope::Kind::kClass;
+    for (const Scope::Item& item : scope.items) {
+      if (item.statement) {
+        if (decl_scope) {
+          HarvestStatement(*item.statement, cls,
+                           scope.kind == Scope::Kind::kClass);
+        }
+        continue;
+      }
+      const Scope& child = *item.scope;
+      switch (child.kind) {
+        case Scope::Kind::kClass:
+          Walk(child, child.name.empty() ? cls : child.name);
+          break;
+        case Scope::Kind::kFunction:
+          HarvestFunctionScope(child);
+          Walk(child, child.cls.empty() ? cls : child.cls);
+          break;
+        case Scope::Kind::kEnum:
+          break;  // enumerators are not declarations we index
+        default:
+          Walk(child, cls);
+          break;
+      }
+    }
+  }
+
+  /// Declaration-group chaining for the rationale convention: one
+  /// comment may cover a run of adjacent atomic counters (metrics.h
+  /// style), so an uncommented decl inherits from a commented one at
+  /// most 3 lines above it.
+  void ChainAtomicRationales() {
+    std::sort(file_atomics.begin(), file_atomics.end(),
+              [](const AtomicDecl* a, const AtomicDecl* b) {
+                return a->line < b->line;
+              });
+    for (size_t i = 1; i < file_atomics.size(); ++i) {
+      if (!file_atomics[i]->has_rationale &&
+          file_atomics[i - 1]->has_rationale &&
+          file_atomics[i]->line - file_atomics[i - 1]->line <= 3) {
+        file_atomics[i]->has_rationale = true;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void Harvest::AddFile(const LexedFile& lexed, const Scope& root) {
+  FileHarvester harvester{lexed, this, {}};
+  harvester.Walk(root, "");
+  harvester.ChainAtomicRationales();
+}
+
+}  // namespace tools
+}  // namespace autoview

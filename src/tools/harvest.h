@@ -1,0 +1,96 @@
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/scopes.h"
+
+/// \file
+/// Signature harvester for tools/avcheck. Walks the scope trees of
+/// every policed file and collects the project-wide facts the checks
+/// need to resolve a call site without a real type system:
+///
+///  - function signatures (return type class, AV_REQUIRES/AV_EXCLUDES
+///    sets, whether the body performs a blocking operation), indexed by
+///    unqualified name;
+///  - class member declarations (`member name -> declared type`), used
+///    to resolve `receiver_->Call()` to a class;
+///  - atomic member declarations and whether their declaration carries
+///    an ordering-rationale comment (the PR 3 convention).
+
+namespace autoview {
+namespace tools {
+
+/// One harvested function declaration or definition.
+struct FunctionSig {
+  std::string cls;   // owning class ("" for free functions)
+  std::string name;  // unqualified name
+  std::string file;
+  int line = 0;
+  bool returns_status = false;
+  bool returns_result = false;  // Result<T> (carries .status())
+  bool blocking = false;        // body performs a direct blocking op
+  std::vector<std::string> requires_locks;
+  std::vector<std::string> excludes_locks;
+};
+
+/// One harvested std::atomic member/global declaration.
+struct AtomicDecl {
+  std::string cls;
+  std::string name;
+  std::string file;
+  int line = 0;
+  bool has_rationale = false;  // ordering rationale at the declaration
+};
+
+/// Project-wide symbol index built from all scope trees.
+struct Harvest {
+  /// Unqualified function name -> every declaration/definition seen.
+  std::multimap<std::string, FunctionSig> functions;
+  /// (class, member) -> declared type (last identifier, templates
+  /// unwrapped: `std::unique_ptr<ViewStateLog>` -> `ViewStateLog`).
+  std::map<std::pair<std::string, std::string>, std::string> member_types;
+  /// Atomic variable name -> declarations (usually one).
+  std::multimap<std::string, AtomicDecl> atomics;
+
+  /// Adds declarations from one parsed file (header or source).
+  void AddFile(const LexedFile& lexed, const Scope& root);
+
+  /// Marks every signature of `name` (narrowed to `cls` when non-empty)
+  /// blocking. Called by the checks pass once a definition's body is
+  /// seen to perform a blocking operation, so the fact propagates one
+  /// level to the function's callers.
+  void MarkBlocking(const std::string& name, const std::string& cls);
+
+  /// Looks up functions by unqualified name; when `cls` is non-empty
+  /// only signatures of that class are returned.
+  std::vector<const FunctionSig*> Find(const std::string& name,
+                                       const std::string& cls) const;
+
+  /// Resolves the class of `receiver` as seen from class `ctx_cls`:
+  /// first as a member of `ctx_cls`, then as a member name that maps to
+  /// one unique type across all classes. Returns "" when ambiguous.
+  std::string ResolveReceiverClass(const std::string& receiver,
+                                   const std::string& ctx_cls) const;
+
+  /// True if every signature found for `name` (optionally narrowed by
+  /// class) agrees that it returns Status or Result. False when the
+  /// name is unknown or ambiguous — the checks stay silent then.
+  bool UnanimouslyReturnsStatus(const std::string& name,
+                                const std::string& cls) const;
+};
+
+/// Extracts the terminal type name of a declaration text: the last
+/// identifier inside trailing template args, else the last identifier
+/// of the leading type tokens (`Database* db_` -> `Database`).
+std::string TerminalTypeName(const std::string& decl_type);
+
+/// True when any comment on lines [lo, hi] (1-based, clamped) contains
+/// an ordering-rationale keyword (relaxed / acquire / release /
+/// seq_cst / ordering / memory order / monotonic...).
+bool OrderingRationaleNear(const LexedFile& lexed, int lo, int hi);
+
+}  // namespace tools
+}  // namespace autoview

@@ -1,0 +1,181 @@
+#include "tools/lexer.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace autoview {
+namespace tools {
+
+namespace {
+
+enum class Mode {
+  kCode,
+  kLineComment,
+  kBlockComment,
+  kString,
+  kChar,
+  kRawString,
+};
+
+bool IsIdentChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+}  // namespace
+
+LexedFile LexSource(std::string path, std::string_view text) {
+  LexedFile out;
+  out.path = std::move(path);
+
+  Mode mode = Mode::kCode;
+  std::string raw_delim;        // the `)delim` terminator of a raw string
+  bool in_directive = false;    // inside a preprocessor directive
+  bool escape = false;          // previous char was a backslash (in literal)
+  LexedLine line;
+
+  auto flush_line = [&] {
+    out.lines.push_back(std::move(line));
+    line = LexedLine();
+  };
+
+  const size_t n = text.size();
+  for (size_t i = 0; i < n; ++i) {
+    const char c = text[i];
+    const char next = i + 1 < n ? text[i + 1] : '\0';
+
+    if (c == '\n') {
+      // A directive continues over a trailing backslash; a line comment
+      // technically does too, but none of the policed sources rely on
+      // that, so a newline always ends a `//` comment here.
+      const bool continued = !line.code.empty() && line.code.back() == '\\';
+      if (mode == Mode::kLineComment) mode = Mode::kCode;
+      if (in_directive) {
+        line.code.assign(line.code.size(), ' ');
+        if (!continued) in_directive = false;
+      }
+      flush_line();
+      continue;
+    }
+
+    switch (mode) {
+      case Mode::kCode: {
+        if (line.code.find_first_not_of(" \t") == std::string::npos &&
+            c == '#') {
+          in_directive = true;
+        }
+        if (c == '/' && next == '/') {
+          mode = Mode::kLineComment;
+          ++i;
+          continue;
+        }
+        if (c == '/' && next == '*') {
+          mode = Mode::kBlockComment;
+          ++i;
+          continue;
+        }
+        if (c == '"') {
+          // R"delim( ... )delim" — the R must not be part of a longer
+          // identifier (LR"..." etc. are not used in this codebase).
+          const bool raw =
+              !line.code.empty() && line.code.back() == 'R' &&
+              (line.code.size() < 2 ||
+               !IsIdentChar(line.code[line.code.size() - 2]));
+          if (raw) {
+            size_t j = i + 1;
+            std::string delim;
+            while (j < n && text[j] != '(' && text[j] != '\n' &&
+                   delim.size() < 16) {
+              delim.push_back(text[j++]);
+            }
+            if (j < n && text[j] == '(') {
+              mode = Mode::kRawString;
+              raw_delim = ")" + delim + "\"";
+              line.code.push_back('"');
+              continue;
+            }
+          }
+          mode = Mode::kString;
+          escape = false;
+          line.code.push_back('"');
+          continue;
+        }
+        if (c == '\'') {
+          // Digit separators (1'000'000) are not quotes.
+          if (!line.code.empty() && IsIdentChar(line.code.back()) &&
+              line.code.back() >= '0' && line.code.back() <= '9') {
+            line.code.push_back(c);
+            continue;
+          }
+          mode = Mode::kChar;
+          escape = false;
+          line.code.push_back('\'');
+          continue;
+        }
+        line.code.push_back(c);
+        break;
+      }
+      case Mode::kLineComment:
+        line.comment.push_back(c);
+        break;
+      case Mode::kBlockComment:
+        if (c == '*' && next == '/') {
+          mode = Mode::kCode;
+          ++i;
+        } else {
+          line.comment.push_back(c);
+        }
+        break;
+      case Mode::kString:
+        if (escape) {
+          escape = false;
+        } else if (c == '\\') {
+          escape = true;
+        } else if (c == '"') {
+          mode = Mode::kCode;
+          line.code.push_back('"');
+          continue;
+        }
+        line.code.push_back(' ');
+        break;
+      case Mode::kChar:
+        if (escape) {
+          escape = false;
+        } else if (c == '\\') {
+          escape = true;
+        } else if (c == '\'') {
+          mode = Mode::kCode;
+          line.code.push_back('\'');
+          continue;
+        }
+        line.code.push_back(' ');
+        break;
+      case Mode::kRawString: {
+        if (c == ')' && text.compare(i, raw_delim.size(), raw_delim) == 0) {
+          i += raw_delim.size() - 1;
+          mode = Mode::kCode;
+          line.code.push_back('"');
+        } else {
+          line.code.push_back(' ');
+        }
+        break;
+      }
+    }
+  }
+  if (!line.code.empty() || !line.comment.empty()) {
+    if (in_directive) line.code.assign(line.code.size(), ' ');
+    flush_line();
+  }
+  return out;
+}
+
+Result<LexedFile> LexFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return LexSource(path, buffer.str());
+}
+
+}  // namespace tools
+}  // namespace autoview

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+/// \file
+/// Shared C++ lexer for tools/avcheck: strips comments, string/char
+/// literals, raw strings, and preprocessor directives from a source
+/// file while preserving the line structure, so every downstream check
+/// reports real line numbers and no pattern can be tripped by prose.
+///
+/// This replaces the sed/awk approximation of scripts/lint_common.sh
+/// (which could not handle raw strings, multi-line literals, or a `//`
+/// inside a string). It is still not a compiler front end: the output
+/// is per-line *code text* plus per-line *comment text*, which is what
+/// the scope tracker and the grep-style rules consume.
+
+namespace autoview {
+namespace tools {
+
+/// One physical source line after lexing.
+struct LexedLine {
+  /// The code with comments removed and literal *contents* blanked to
+  /// spaces (the quotes survive, so `""` still reads as an expression).
+  /// Preprocessor directives (including their continuation lines) are
+  /// blanked entirely — macro bodies would otherwise unbalance the
+  /// brace tracking downstream.
+  std::string code;
+  /// Concatenated comment text that ended or continued on this line
+  /// (both `//` and `/* */`, without the delimiters).
+  std::string comment;
+};
+
+/// A lexed source file; `lines[i]` is physical line `i + 1`.
+struct LexedFile {
+  std::string path;
+  std::vector<LexedLine> lines;
+};
+
+/// Lexes `text` (the full file contents) into per-line code/comment.
+LexedFile LexSource(std::string path, std::string_view text);
+
+/// Reads and lexes a file from disk.
+Result<LexedFile> LexFile(const std::string& path);
+
+}  // namespace tools
+}  // namespace autoview

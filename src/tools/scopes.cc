@@ -1,0 +1,523 @@
+#include "tools/scopes.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace autoview {
+namespace tools {
+
+namespace {
+
+bool IsIdent(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+/// First identifier token of `s` ("" when it does not start with one).
+std::string FirstToken(const std::string& s) {
+  size_t i = 0;
+  while (i < s.size() && !IsIdent(s[i])) {
+    if (s[i] != ' ' && s[i] != '\t') return "";
+    ++i;
+  }
+  size_t b = i;
+  while (i < s.size() && IsIdent(s[i])) ++i;
+  return s.substr(b, i - b);
+}
+
+bool IsControlKeyword(const std::string& t) {
+  return t == "if" || t == "for" || t == "while" || t == "switch" ||
+         t == "do" || t == "else" || t == "try" || t == "catch" ||
+         t == "return";
+}
+
+/// Strips leading `public:` / `private:` / `protected:` / `case X:` /
+/// `default:` label prefixes and a leading `template <...>`.
+std::string StripPrefixes(std::string h) {
+  for (;;) {
+    h = Trim(h);
+    const std::string t = FirstToken(h);
+    if (t == "public" || t == "private" || t == "protected" ||
+        t == "default") {
+      size_t colon = h.find(':');
+      if (colon == std::string::npos) break;
+      // Do not split a `::`.
+      if (colon + 1 < h.size() && h[colon + 1] == ':') break;
+      h = h.substr(colon + 1);
+      continue;
+    }
+    if (t == "case") {
+      // `case A::B:` — find the last colon not part of a `::`.
+      size_t i = h.size();
+      while (i > 0) {
+        --i;
+        if (h[i] == ':' && (i == 0 || h[i - 1] != ':') &&
+            (i + 1 >= h.size() || h[i + 1] != ':')) {
+          break;
+        }
+      }
+      if (h[i] == ':') {
+        h = h.substr(i + 1);
+        continue;
+      }
+      break;
+    }
+    if (t == "template") {
+      size_t lt = h.find('<');
+      if (lt == std::string::npos) break;
+      int depth = 0;
+      size_t i = lt;
+      for (; i < h.size(); ++i) {
+        if (h[i] == '<') ++depth;
+        if (h[i] == '>' && --depth == 0) break;
+      }
+      if (i >= h.size()) break;
+      h = h.substr(i + 1);
+      continue;
+    }
+    break;
+  }
+  return Trim(h);
+}
+
+/// True when `h` (or its tail, for mid-expression braces) ends in a
+/// lambda introducer: `[caps]`, `[caps](params)`, optionally followed
+/// by `mutable` and/or a trailing return type.
+bool EndsWithLambdaIntro(const std::string& h) {
+  std::string s = Trim(h);
+  if (s.empty()) return false;
+  // Peel an optional trailing return type `-> T` and `mutable`.
+  size_t arrow = s.rfind("->");
+  if (arrow != std::string::npos && arrow + 2 < s.size()) {
+    const std::string tail = s.substr(arrow + 2);
+    if (tail.find('(') == std::string::npos) s = Trim(s.substr(0, arrow));
+  }
+  if (s.size() >= 7 && s.compare(s.size() - 7, 7, "mutable") == 0) {
+    s = Trim(s.substr(0, s.size() - 7));
+  }
+  if (s.empty()) return false;
+  if (s.back() == ')') {
+    // Match back to the '(' and require a ']' right before it.
+    int depth = 0;
+    size_t i = s.size();
+    while (i > 0) {
+      --i;
+      if (s[i] == ')') ++depth;
+      if (s[i] == '(' && --depth == 0) break;
+    }
+    if (s[i] != '(') return false;
+    while (i > 0 && (s[i - 1] == ' ' || s[i - 1] == '\t')) --i;
+    return i > 0 && s[i - 1] == ']';
+  }
+  if (s.back() == ']') {
+    // Require a matching '[' so an array subscript does not qualify —
+    // and an index expression would not end a statement anyway.
+    return s.find('[') != std::string::npos;
+  }
+  return false;
+}
+
+/// True when token `kw` occurs in `h` before any '(' at nesting level 0.
+bool HasTypeKeyword(const std::string& h, const std::string& kw) {
+  for (size_t i = 0; i + kw.size() <= h.size(); ++i) {
+    if (h[i] == '(') return false;
+    if (h[i] == '=') return false;
+    if (h.compare(i, kw.size(), kw) == 0 &&
+        (i == 0 || !IsIdent(h[i - 1])) &&
+        (i + kw.size() >= h.size() || !IsIdent(h[i + kw.size()]))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Class name from a class/struct header: the first plain identifier
+/// after the keyword that is not an attribute or a macro invocation.
+std::string ClassNameFrom(const std::string& h) {
+  size_t pos = std::string::npos;
+  for (const char* kw : {"class", "struct", "union"}) {
+    const std::string k(kw);
+    for (size_t i = 0; i + k.size() <= h.size(); ++i) {
+      if (h.compare(i, k.size(), k) == 0 && (i == 0 || !IsIdent(h[i - 1])) &&
+          (i + k.size() >= h.size() || !IsIdent(h[i + k.size()]))) {
+        pos = i + k.size();
+        break;
+      }
+    }
+    if (pos != std::string::npos) break;
+  }
+  if (pos == std::string::npos) return "";
+  std::string name;
+  size_t i = pos;
+  while (i < h.size()) {
+    char c = h[i];
+    if (c == ' ' || c == '\t') {
+      ++i;
+      continue;
+    }
+    if (c == '[') {  // [[attribute]]
+      while (i < h.size() && h[i] != ']') ++i;
+      while (i < h.size() && h[i] == ']') ++i;
+      continue;
+    }
+    if (c == ':' || c == '{') break;
+    if (IsIdent(c)) {
+      size_t b = i;
+      while (i < h.size() && IsIdent(h[i])) ++i;
+      std::string tok = h.substr(b, i - b);
+      // Macro invocation (AV_CAPABILITY(...)): skip it with its args.
+      size_t j = i;
+      while (j < h.size() && (h[j] == ' ' || h[j] == '\t')) ++j;
+      if (j < h.size() && h[j] == '(') {
+        int depth = 0;
+        while (j < h.size()) {
+          if (h[j] == '(') ++depth;
+          if (h[j] == ')' && --depth == 0) break;
+          ++j;
+        }
+        i = j + 1;
+        continue;
+      }
+      if (tok == "final" || tok == "alignas") continue;
+      name = tok;
+      if (j < h.size() && (h[j] == ':' || h[j] == '{')) break;
+      // Keep scanning: `struct Entry final` — last plain token wins
+      // only if a later one appears before ':'/'{'.
+      continue;
+    }
+    ++i;
+  }
+  return name;
+}
+
+/// The identifier chain (`A::B::name` or `name`) immediately before the
+/// first top-level '(' of a function header. Returns "" when there is
+/// no call-shaped text. Parens inside template angle brackets are
+/// skipped while locating the parameter list.
+std::string NameChainBeforeParams(const std::string& h) {
+  int angle = 0;
+  size_t paren = std::string::npos;
+  for (size_t i = 0; i < h.size(); ++i) {
+    const char c = h[i];
+    if (c == '<') ++angle;
+    if (c == '>' && angle > 0) --angle;
+    if (c == '(' && angle == 0) {
+      paren = i;
+      break;
+    }
+  }
+  if (paren == std::string::npos) return "";
+  size_t e = paren;
+  while (e > 0 && (h[e - 1] == ' ' || h[e - 1] == '\t')) --e;
+  size_t b = e;
+  while (b > 0 && (IsIdent(h[b - 1]) || h[b - 1] == ':' || h[b - 1] == '~')) {
+    --b;
+  }
+  std::string chain = h.substr(b, e - b);
+  // `operator==` and friends: the symbol part stops the scan above, so
+  // look left for the keyword and keep the whole spelling.
+  if (chain.empty() || chain == "=") {
+    const std::string head = h.substr(0, b);
+    size_t op = head.rfind("operator");
+    if (op != std::string::npos &&
+        Trim(head.substr(op + 8)).size() <= 2) {
+      size_t ob = op;
+      while (ob > 0 &&
+             (IsIdent(head[ob - 1]) || head[ob - 1] == ':')) {
+        --ob;
+      }
+      chain = Trim(h.substr(ob, e - ob));
+    }
+  }
+  return chain;
+}
+
+}  // namespace
+
+std::vector<std::string> SplitTopLevelArgs(const std::string& text) {
+  std::vector<std::string> out;
+  int depth = 0;
+  std::string cur;
+  for (char c : text) {
+    if (c == '(' || c == '<' || c == '[') ++depth;
+    if (c == ')' || c == '>' || c == ']') --depth;
+    if (c == ',' && depth == 0) {
+      if (!Trim(cur).empty()) out.push_back(Trim(cur));
+      cur.clear();
+      continue;
+    }
+    cur.push_back(c);
+  }
+  if (!Trim(cur).empty()) out.push_back(Trim(cur));
+  return out;
+}
+
+std::string MacroArgs(const std::string& text, const std::string& macro_name) {
+  for (size_t i = 0; i + macro_name.size() <= text.size(); ++i) {
+    if (text.compare(i, macro_name.size(), macro_name) != 0) continue;
+    if (i > 0 && IsIdent(text[i - 1])) continue;
+    size_t j = i + macro_name.size();
+    while (j < text.size() && (text[j] == ' ' || text[j] == '\t')) ++j;
+    if (j >= text.size() || text[j] != '(') continue;
+    int depth = 0;
+    size_t open = j;
+    for (; j < text.size(); ++j) {
+      if (text[j] == '(') ++depth;
+      if (text[j] == ')' && --depth == 0) {
+        return text.substr(open + 1, j - open - 1);
+      }
+    }
+  }
+  return "";
+}
+
+bool ContainsToken(const std::string& text, const std::string& word) {
+  for (size_t i = 0; i + word.size() <= text.size(); ++i) {
+    if (text.compare(i, word.size(), word) == 0 &&
+        (i == 0 || !IsIdent(text[i - 1])) &&
+        (i + word.size() >= text.size() || !IsIdent(text[i + word.size()]))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::unique_ptr<Scope> ParseScopes(const LexedFile& file) {
+  auto root = std::make_unique<Scope>();
+  root->kind = Scope::Kind::kFile;
+  root->header_line = 1;
+
+  std::vector<Scope*> stack{root.get()};
+  // Saved paren depth for lambda scopes opened mid-expression.
+  std::vector<int> lambda_saved_depth;
+
+  std::string chunk;
+  int chunk_line = 0;
+  int paren_depth = 0;
+  int init_brace_depth = 0;
+
+  auto append = [&](char c, int ln) {
+    if (c == ' ' || c == '\t') {
+      if (!chunk.empty() && chunk.back() != ' ') chunk.push_back(' ');
+      return;
+    }
+    if (chunk.empty() || Trim(chunk).empty()) chunk_line = ln;
+    chunk.push_back(c);
+  };
+
+  auto flush_statement = [&](int ln, bool complete) {
+    const std::string text = Trim(chunk);
+    chunk.clear();
+    if (text.empty()) return;
+    auto stmt = std::make_unique<Statement>();
+    stmt->text = complete ? text : text + " /*partial*/";
+    stmt->line = chunk_line;
+    stmt->end_line = ln;
+    Scope::Item item;
+    item.statement = std::move(stmt);
+    stack.back()->items.push_back(std::move(item));
+  };
+
+  auto enclosing_class = [&]() -> std::string {
+    for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+      if ((*it)->kind == Scope::Kind::kClass) return (*it)->name;
+    }
+    return "";
+  };
+
+  auto open_scope = [&](Scope::Kind kind, int ln) {
+    auto scope = std::make_unique<Scope>();
+    scope->kind = kind;
+    scope->header = Trim(chunk);
+    scope->header_line = chunk_line == 0 ? ln : chunk_line;
+    scope->open_line = ln;
+    chunk.clear();
+    const std::string h = StripPrefixes(scope->header);
+    if (kind == Scope::Kind::kClass) {
+      scope->name = ClassNameFrom(h);
+      scope->cls = scope->name;
+    } else if (kind == Scope::Kind::kFunction) {
+      std::string chain = NameChainBeforeParams(h);
+      const size_t sep = chain.rfind("::");
+      if (sep != std::string::npos) {
+        scope->cls = chain.substr(0, sep);
+        scope->name = chain.substr(sep + 2);
+      } else {
+        scope->cls = enclosing_class();
+        scope->name = chain;
+      }
+      for (const std::string& arg :
+           SplitTopLevelArgs(MacroArgs(h, "AV_REQUIRES"))) {
+        scope->requires_locks.push_back(arg);
+      }
+      for (const std::string& arg :
+           SplitTopLevelArgs(MacroArgs(h, "AV_EXCLUDES"))) {
+        scope->excludes_locks.push_back(arg);
+      }
+    }
+    Scope* raw = scope.get();
+    Scope::Item item;
+    item.scope = std::move(scope);
+    stack.back()->items.push_back(std::move(item));
+    stack.push_back(raw);
+  };
+
+  auto classify_and_open = [&](int ln) {
+    const std::string h = StripPrefixes(Trim(chunk));
+    const std::string first = FirstToken(h);
+    const char last = h.empty() ? '\0' : h.back();
+    if (h.empty() || (IsControlKeyword(first) && first != "return")) {
+      open_scope(Scope::Kind::kBlock, ln);
+      return true;
+    }
+    if (ContainsToken(h, "namespace")) {
+      open_scope(Scope::Kind::kNamespace, ln);
+      return true;
+    }
+    if (HasTypeKeyword(h, "enum")) {
+      open_scope(Scope::Kind::kEnum, ln);
+      return true;
+    }
+    if (HasTypeKeyword(h, "class") || HasTypeKeyword(h, "struct") ||
+        HasTypeKeyword(h, "union")) {
+      open_scope(Scope::Kind::kClass, ln);
+      return true;
+    }
+    if (EndsWithLambdaIntro(h)) {
+      flush_statement(ln, /*complete=*/false);
+      chunk = h;  // re-seed so the lambda's own header survives
+      open_scope(Scope::Kind::kLambda, ln);
+      lambda_saved_depth.push_back(paren_depth);
+      paren_depth = 0;
+      return true;
+    }
+    if (last == '=' || last == ',' || first == "return") {
+      return false;  // brace-init
+    }
+    if (h.find('(') != std::string::npos) {
+      const std::string chain = NameChainBeforeParams(h);
+      if (chain.empty() || IsControlKeyword(chain)) {
+        open_scope(Scope::Kind::kBlock, ln);
+      } else {
+        open_scope(Scope::Kind::kFunction, ln);
+      }
+      return true;
+    }
+    if (last != '\0' && (IsIdent(last) || last == '>')) {
+      return false;  // member / local brace-init: `std::atomic<T> x_{0}`
+    }
+    open_scope(Scope::Kind::kOther, ln);
+    return true;
+  };
+
+  for (size_t li = 0; li < file.lines.size(); ++li) {
+    const int ln = static_cast<int>(li) + 1;
+    const std::string& code = file.lines[li].code;
+    for (size_t ci = 0; ci < code.size(); ++ci) {
+      const char c = code[ci];
+      if (init_brace_depth > 0) {
+        if (c == '{') ++init_brace_depth;
+        if (c == '}') --init_brace_depth;
+        if (c == '(' || c == '[') ++paren_depth;
+        if ((c == ')' || c == ']') && paren_depth > 0) --paren_depth;
+        if (c == ';' && paren_depth == 0 && init_brace_depth == 0) {
+          flush_statement(ln, /*complete=*/true);
+          continue;
+        }
+        append(c, ln);
+        continue;
+      }
+      switch (c) {
+        case '(':
+        case '[':
+          ++paren_depth;
+          append(c, ln);
+          break;
+        case ')':
+        case ']':
+          if (paren_depth > 0) --paren_depth;
+          append(c, ln);
+          break;
+        case ';':
+          if (paren_depth == 0) {
+            flush_statement(ln, /*complete=*/true);
+          } else {
+            append(c, ln);
+          }
+          break;
+        case ':': {
+          // Drop access-specifier and case labels so the statement that
+          // follows them keeps its own start line (otherwise `private:`
+          // would glue onto the next member declaration and shift every
+          // reported line number). `::` and `?:` pass through.
+          const char next = ci + 1 < code.size() ? code[ci + 1] : '\0';
+          if (paren_depth == 0 && next != ':' &&
+              (chunk.empty() || chunk.back() != ':')) {
+            const std::string t = Trim(chunk);
+            if (t == "public" || t == "private" || t == "protected" ||
+                t == "default" || t.rfind("case ", 0) == 0 ||
+                t == "case") {
+              chunk.clear();
+              break;
+            }
+          }
+          append(c, ln);
+          break;
+        }
+        case '{': {
+          if (paren_depth > 0) {
+            if (EndsWithLambdaIntro(Trim(chunk))) {
+              flush_statement(ln, /*complete=*/false);
+              open_scope(Scope::Kind::kLambda, ln);
+              lambda_saved_depth.push_back(paren_depth);
+              paren_depth = 0;
+            } else {
+              ++init_brace_depth;
+              append(c, ln);
+            }
+            break;
+          }
+          if (!classify_and_open(ln)) {
+            ++init_brace_depth;
+            append(c, ln);
+          }
+          break;
+        }
+        case '}': {
+          flush_statement(ln, /*complete=*/false);
+          if (stack.size() > 1) {
+            Scope* closing = stack.back();
+            closing->close_line = ln;
+            if (closing->kind == Scope::Kind::kLambda &&
+                !lambda_saved_depth.empty()) {
+              paren_depth = lambda_saved_depth.back();
+              lambda_saved_depth.pop_back();
+            }
+            stack.pop_back();
+          }
+          break;
+        }
+        default:
+          append(c, ln);
+          break;
+      }
+    }
+    append(' ', ln);
+  }
+  flush_statement(static_cast<int>(file.lines.size()), /*complete=*/false);
+  while (stack.size() > 1) {
+    stack.back()->close_line = static_cast<int>(file.lines.size());
+    stack.pop_back();
+  }
+  root->close_line = static_cast<int>(file.lines.size());
+  return root;
+}
+
+}  // namespace tools
+}  // namespace autoview

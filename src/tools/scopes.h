@@ -1,0 +1,78 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tools/lexer.h"
+
+/// \file
+/// Brace/scope tracker for tools/avcheck. Consumes a LexedFile and
+/// produces a tree of scopes (namespaces, classes, functions, lambdas,
+/// blocks) with the statements of each scope in source order.
+///
+/// This is a heuristic parser, not a grammar: it tracks parenthesis and
+/// brace depth over the lexed code, classifies each `{` by the text
+/// that precedes it, and extracts function names / thread-safety
+/// annotations from scope headers. DESIGN.md §13 lists the known
+/// approximations. The guiding invariant is that brace balance is
+/// never lost: a misclassified corner case degrades one scope's kind,
+/// never the structure of everything after it.
+
+namespace autoview {
+namespace tools {
+
+/// One `;`-terminated statement (or flushed fragment) of a scope.
+struct Statement {
+  std::string text;  // single-spaced code text, no trailing ';'
+  int line = 0;      // physical line where the statement begins
+  int end_line = 0;  // physical line where it ends
+};
+
+/// A scope in the source tree.
+struct Scope {
+  enum class Kind {
+    kFile,       // virtual root
+    kNamespace,  // namespace foo {
+    kClass,      // class/struct/union body
+    kEnum,       // enum { ... }
+    kFunction,   // function definition body
+    kLambda,     // lambda body (deferred execution: fresh lock context)
+    kBlock,      // if/for/while/switch/try/plain block
+    kOther,      // unclassified brace scope
+  };
+
+  /// A scope holds statements and child scopes in source order.
+  struct Item {
+    // Exactly one of the two is set.
+    std::unique_ptr<Statement> statement;
+    std::unique_ptr<Scope> scope;
+  };
+
+  Kind kind = Kind::kFile;
+  std::string header;     // code text preceding the opening brace
+  std::string name;       // class name / function name (unqualified)
+  std::string cls;        // enclosing or explicit (A::B) class name
+  int header_line = 0;    // line where the header begins
+  int open_line = 0;      // line of the opening brace
+  int close_line = 0;     // line of the closing brace
+  std::vector<std::string> requires_locks;  // AV_REQUIRES(...) args
+  std::vector<std::string> excludes_locks;  // AV_EXCLUDES(...) args
+  std::vector<Item> items;
+};
+
+/// Parses a lexed file into a scope tree rooted at a kFile scope.
+std::unique_ptr<Scope> ParseScopes(const LexedFile& file);
+
+/// Splits `text` on top-level commas (ignoring nested (), <>, []).
+std::vector<std::string> SplitTopLevelArgs(const std::string& text);
+
+/// Extracts the parenthesized argument text of the first call to
+/// `macro_name` inside `text`, or "" when absent.
+std::string MacroArgs(const std::string& text, const std::string& macro_name);
+
+/// True when `text` contains `word` as a whole identifier token.
+bool ContainsToken(const std::string& text, const std::string& word);
+
+}  // namespace tools
+}  // namespace autoview

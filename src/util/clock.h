@@ -63,6 +63,10 @@ class ManualClock : public Clock {
   }
 
  private:
+  // Relaxed is enough (see util/annotations.h conventions): tests
+  // advance the clock from one thread and read it from others purely as
+  // a monotonic counter; no data is published through the timestamp, so
+  // no acquire/release pairing is needed.
   std::atomic<int64_t> nanos_;
 };
 

@@ -27,7 +27,14 @@ enum class StatusCode {
 const char* StatusCodeName(StatusCode code);
 
 /// \brief A success-or-error outcome carrying a code and a message.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status is how a failed WAL append
+/// or materialization turns into a wedged server, so both the compiler
+/// and tools/avcheck (`discarded-status`) flag any call site that
+/// ignores one. Intentional discards must be spelled
+/// `(void)Call();  // <why ignoring is safe>` — the cast plus a
+/// rationale comment is the form the checker recognizes.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -77,8 +84,11 @@ class Status {
 };
 
 /// \brief Either a value of type T or an error Status.
+///
+/// [[nodiscard]] for the same reason as Status: a dropped Result hides
+/// the error half of the outcome.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (success).
   Result(T value) : value_(std::in_place_index<0>, std::move(value)) {}

@@ -54,6 +54,9 @@ void ThreadPool::WorkerLoop() {
       MutexLock lock(mu_);
       // Predicate inlined (not a wait-lambda) so the thread-safety
       // analysis sees the guarded reads under the held lock.
+      // avcheck:allow(blocking-under-lock): CondVar::Wait atomically
+      // releases mu_ while sleeping — this is the idle-worker park, not
+      // work done under the lock.
       while (!stop_ && queue_.empty()) cv_.Wait(mu_);
       if (queue_.empty()) return;  // stop_ and drained
       task = std::move(queue_.front());
