@@ -28,11 +28,11 @@ case "$mode" in
     # view_store_test the WAL torn-tail/rollback and eviction paths;
     # advisor_test the streaming ingest/retire/re-index mutation paths
     # (tail renumbering, column shifts) and the swap lifecycle.
-    suites="failpoint_test deadline_test persistence_test loadgen_test view_store_test advisor_test"
+    suites="failpoint_test deadline_test persistence_test loadgen_test view_store_test advisor_test rewrite_fast_path_test"
     ;;
   ubsan)
     sanitize=undefined
-    suites="failpoint_test deadline_test persistence_test sql_parser_test plan_test loadgen_test view_store_test advisor_test"
+    suites="failpoint_test deadline_test persistence_test sql_parser_test plan_test loadgen_test view_store_test advisor_test rewrite_fast_path_test"
     ;;
   tsan)
     sanitize=thread
@@ -42,7 +42,7 @@ case "$mode" in
     # and bucketed overlap); loadgen_test the multi-client serving loop;
     # view_store_test pins/evictions/async builds racing on the store;
     # advisor_test concurrent pinned serving racing generation hot swaps.
-    suites="thread_pool_test static_analysis_test parallel_determinism_test problem_index_test subquery_test loadgen_test view_store_test advisor_test"
+    suites="thread_pool_test static_analysis_test parallel_determinism_test problem_index_test subquery_test loadgen_test view_store_test advisor_test rewrite_fast_path_test"
     ;;
   *)
     echo "usage: $0 asan|ubsan|tsan" >&2

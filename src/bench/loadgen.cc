@@ -93,6 +93,8 @@ Status ParseFlag(const std::string& arg, LoadGenConfig* config) {
   } else if (key == "advisor_epoch") {
     AV_RETURN_NOT_OK(parse_u64(&u));
     config->advisor_epoch = u;
+  } else if (key == "fast_path") {
+    config->fast_path = value.empty() || value == "true" || value == "1";
   } else if (key == "csv") {
     config->csv_file = value;
   } else if (key == "json") {
@@ -153,6 +155,8 @@ std::vector<std::string> ToArgs(const LoadGenConfig& config) {
   args.push_back("--drift=" + config.drift);
   args.push_back(StrFormat("--online=%s", config.online ? "true" : "false"));
   args.push_back(StrFormat("--advisor_epoch=%zu", config.advisor_epoch));
+  args.push_back(
+      StrFormat("--fast_path=%s", config.fast_path ? "true" : "false"));
   args.push_back("--csv=" + config.csv_file);
   args.push_back("--json=" + config.json_file);
   return args;
@@ -249,7 +253,17 @@ struct ClientTask {
   OnlineAdvisor* advisor = nullptr;
   MaterializedViewStore* store = nullptr;
 
+  /// Serve via Rewriter::RewriteServing (view index + rewrite cache,
+  /// pin-by-id) instead of PinLive + the sequential per-view loop.
+  /// Requires `store` (set whenever the flag is on, batch or online).
+  bool fast_path = false;
+
   std::vector<double> latencies;
+  // Phase breakdown, index-aligned with `latencies` (one entry per
+  // successful measured request).
+  std::vector<double> parse_ms;
+  std::vector<double> rewrite_ms;
+  std::vector<double> execute_ms;
   size_t errors = 0;
 
   void Serve(size_t query_index) {
@@ -273,29 +287,51 @@ struct ClientTask {
       ++errors;
       return;
     }
+    const auto parsed = SteadyClock::now();
+    PlanNodePtr final_plan;
     ViewSetSnapshot pin;
-    const std::vector<const MaterializedView*>* view_set = views;
-    if (store != nullptr) {
-      pin = store->PinLive();
-      view_set = &pin.views();
+    if (fast_path && store != nullptr) {
+      Result<ServingRewrite> serving =
+          rewriter->RewriteServing(plan.value(), store);
+      if (!serving.ok()) {
+        ++errors;
+        return;
+      }
+      final_plan = std::move(serving.value().plan);
+      pin = std::move(serving.value().pins);
+    } else {
+      const std::vector<const MaterializedView*>* view_set = views;
+      if (store != nullptr) {
+        pin = store->PinLive();
+        view_set = &pin.views();
+      }
+      size_t substitutions = 0;
+      Result<PlanNodePtr> rewritten =
+          rewriter->RewriteAll(plan.value(), *view_set, &substitutions);
+      if (!rewritten.ok()) {
+        ++errors;
+        return;
+      }
+      final_plan = std::move(rewritten).value();
     }
-    size_t substitutions = 0;
-    Result<PlanNodePtr> rewritten =
-        rewriter->RewriteAll(plan.value(), *view_set, &substitutions);
-    if (!rewritten.ok()) {
-      ++errors;
-      return;
-    }
-    Result<CostReport> cost = executor->ExecuteForCost(*rewritten.value());
+    const auto rewritten_at = SteadyClock::now();
+    Result<CostReport> cost = executor->ExecuteForCost(*final_plan);
     if (!cost.ok()) {
       ++errors;
       return;
     }
-    latencies.push_back(1e3 * SecondsBetween(start, SteadyClock::now()));
+    const auto done = SteadyClock::now();
+    latencies.push_back(1e3 * SecondsBetween(start, done));
+    parse_ms.push_back(1e3 * SecondsBetween(start, parsed));
+    rewrite_ms.push_back(1e3 * SecondsBetween(parsed, rewritten_at));
+    execute_ms.push_back(1e3 * SecondsBetween(rewritten_at, done));
   }
 
   void RunScheduled(const std::vector<size_t>& schedule) {
     latencies.reserve(schedule.size());
+    parse_ms.reserve(schedule.size());
+    rewrite_ms.reserve(schedule.size());
+    execute_ms.reserve(schedule.size());
     for (size_t qi : schedule) Serve(qi);
   }
 
@@ -309,10 +345,25 @@ struct ClientTask {
       const bool record = SteadyClock::now() >= record_from;
       const size_t before = latencies.size();
       Serve(qi);
-      if (!record && latencies.size() > before) latencies.pop_back();
+      if (!record && latencies.size() > before) {
+        // Warmup request: drop it from every aligned series.
+        latencies.pop_back();
+        parse_ms.pop_back();
+        rewrite_ms.pop_back();
+        execute_ms.pop_back();
+      }
     }
   }
 };
+
+/// Sorts `values` and fills the three percentile slots.
+void FillPercentiles(std::vector<double> values, double* p50, double* p95,
+                     double* p99) {
+  std::sort(values.begin(), values.end());
+  *p50 = Percentile(values, 50);
+  *p95 = Percentile(values, 95);
+  *p99 = Percentile(values, 99);
+}
 
 }  // namespace
 
@@ -344,12 +395,15 @@ Result<LoadGenResult> RunLoadGen(const LoadGenConfig& config) {
   // process stay additive.
   const ViewStoreCounters::Snapshot store_before = GlobalViewStore().Read();
   const RobustnessCounters::Snapshot robust_before = GlobalRobustness().Read();
+  const RewriteCacheCounters::Snapshot cache_before =
+      GlobalRewriteCache().Read();
   Executor executor(workload.db.get());
   ViewStoreOptions store_options;
   store_options.budget_bytes = config.view_budget_bytes;
   result.view_budget_bytes = config.view_budget_bytes;
   result.drift = config.drift;
   result.online = config.online;
+  result.fast_path = config.fast_path;
   MaterializedViewStore store(workload.db.get(), store_options);
   std::unique_ptr<OnlineAdvisor> advisor;
   ViewSetSnapshot snapshot;
@@ -443,7 +497,11 @@ Result<LoadGenResult> RunLoadGen(const LoadGenConfig& config) {
     task.executor = &executor;
     task.views = &snapshot.views();
     task.advisor = advisor.get();
-    task.store = config.online ? &store : nullptr;
+    // The fast path serves through the store (index + cache + pin-by-id)
+    // in batch mode too; the batch snapshot stays pinned regardless, so
+    // the selected views cannot be evicted mid-run either way.
+    task.store = (config.online || config.fast_path) ? &store : nullptr;
+    task.fast_path = config.fast_path;
   }
 
   ThreadPool& pool = DefaultPool();
@@ -496,6 +554,21 @@ Result<LoadGenResult> RunLoadGen(const LoadGenConfig& config) {
                 static_cast<double>(latencies.size());
   result.peak_rss_mb =
       static_cast<double>(PeakRssBytes()) / (1024.0 * 1024.0);
+  std::vector<double> parse_all, rewrite_all, execute_all;
+  for (const auto& task : tasks) {
+    parse_all.insert(parse_all.end(), task.parse_ms.begin(),
+                     task.parse_ms.end());
+    rewrite_all.insert(rewrite_all.end(), task.rewrite_ms.begin(),
+                       task.rewrite_ms.end());
+    execute_all.insert(execute_all.end(), task.execute_ms.begin(),
+                       task.execute_ms.end());
+  }
+  FillPercentiles(std::move(parse_all), &result.parse_p50_ms,
+                  &result.parse_p95_ms, &result.parse_p99_ms);
+  FillPercentiles(std::move(rewrite_all), &result.rewrite_p50_ms,
+                  &result.rewrite_p95_ms, &result.rewrite_p99_ms);
+  FillPercentiles(std::move(execute_all), &result.execute_p50_ms,
+                  &result.execute_p95_ms, &result.execute_p99_ms);
   for (const auto& task : tasks) result.failed_requests += task.errors;
   snapshot.Release();
   if (config.online) {
@@ -514,6 +587,10 @@ Result<LoadGenResult> RunLoadGen(const LoadGenConfig& config) {
       GlobalViewStore().Read().evictions - store_before.evictions;
   result.rewrite_fallbacks = GlobalRobustness().Read().rewrite_fallbacks -
                              robust_before.rewrite_fallbacks;
+  const RewriteCacheCounters::Snapshot cache_after =
+      GlobalRewriteCache().Read();
+  result.rewrite_cache_hits = cache_after.hits - cache_before.hits;
+  result.rewrite_cache_misses = cache_after.misses - cache_before.misses;
 
   if (!config.csv_file.empty()) {
     AV_RETURN_NOT_OK(WriteTextFile(config.csv_file, ThroughputCsv({result})));
@@ -540,7 +617,14 @@ std::string ResultJson(const LoadGenResult& r) {
       "\"store_views\": %zu, \"evictions\": %llu, "
       "\"rewrite_fallbacks\": %llu, \"failed_requests\": %zu, "
       "\"drift\": \"%s\", \"online\": %s, \"ingested\": %llu, "
-      "\"reselections\": %llu, \"swaps_committed\": %llu}",
+      "\"reselections\": %llu, \"swaps_committed\": %llu, "
+      "\"fast_path\": %s, "
+      "\"parse_p50_ms\": %.3f, \"parse_p95_ms\": %.3f, "
+      "\"parse_p99_ms\": %.3f, \"rewrite_p50_ms\": %.3f, "
+      "\"rewrite_p95_ms\": %.3f, \"rewrite_p99_ms\": %.3f, "
+      "\"execute_p50_ms\": %.3f, \"execute_p95_ms\": %.3f, "
+      "\"execute_p99_ms\": %.3f, \"rewrite_cache_hits\": %llu, "
+      "\"rewrite_cache_misses\": %llu}",
       r.workload.c_str(), r.mode.c_str(), r.num_queries, r.num_tables,
       r.num_candidates, r.num_selected, r.clients,
       static_cast<unsigned long long>(r.seed), r.requests, r.elapsed_s,
@@ -554,7 +638,12 @@ std::string ResultJson(const LoadGenResult& r) {
       r.failed_requests, r.drift.c_str(), r.online ? "true" : "false",
       static_cast<unsigned long long>(r.ingested),
       static_cast<unsigned long long>(r.reselections),
-      static_cast<unsigned long long>(r.swaps_committed));
+      static_cast<unsigned long long>(r.swaps_committed),
+      r.fast_path ? "true" : "false", r.parse_p50_ms, r.parse_p95_ms,
+      r.parse_p99_ms, r.rewrite_p50_ms, r.rewrite_p95_ms, r.rewrite_p99_ms,
+      r.execute_p50_ms, r.execute_p95_ms, r.execute_p99_ms,
+      static_cast<unsigned long long>(r.rewrite_cache_hits),
+      static_cast<unsigned long long>(r.rewrite_cache_misses));
 }
 
 }  // namespace
@@ -577,12 +666,15 @@ std::string ThroughputCsv(const std::vector<LoadGenResult>& results) {
       "csr_bytes,peak_rss_mb,select_utility,select_timed_out,"
       "view_budget_bytes,store_bytes,store_views,evictions,"
       "rewrite_fallbacks,failed_requests,drift,online,ingested,"
-      "reselections,swaps_committed\n";
+      "reselections,swaps_committed,fast_path,parse_p50_ms,parse_p95_ms,"
+      "parse_p99_ms,rewrite_p50_ms,rewrite_p95_ms,rewrite_p99_ms,"
+      "execute_p50_ms,execute_p95_ms,execute_p99_ms,rewrite_cache_hits,"
+      "rewrite_cache_misses\n";
   for (const LoadGenResult& r : results) {
     out += StrFormat(
         "%s,%s,%zu,%zu,%zu,%zu,%d,%llu,%zu,%.3f,%.2f,%.3f,%.3f,%.3f,%.3f,"
         "%zu,%zu,%.1f,%.4f,%d,%llu,%llu,%zu,%llu,%llu,%zu,%s,%d,%llu,%llu,"
-        "%llu\n",
+        "%llu,%d,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%llu,%llu\n",
         r.workload.c_str(), r.mode.c_str(), r.num_queries, r.num_tables,
         r.num_candidates, r.num_selected, r.clients,
         static_cast<unsigned long long>(r.seed), r.requests, r.elapsed_s,
@@ -596,7 +688,12 @@ std::string ThroughputCsv(const std::vector<LoadGenResult>& results) {
         r.failed_requests, r.drift.c_str(), r.online ? 1 : 0,
         static_cast<unsigned long long>(r.ingested),
         static_cast<unsigned long long>(r.reselections),
-        static_cast<unsigned long long>(r.swaps_committed));
+        static_cast<unsigned long long>(r.swaps_committed),
+        r.fast_path ? 1 : 0, r.parse_p50_ms, r.parse_p95_ms, r.parse_p99_ms,
+        r.rewrite_p50_ms, r.rewrite_p95_ms, r.rewrite_p99_ms,
+        r.execute_p50_ms, r.execute_p95_ms, r.execute_p99_ms,
+        static_cast<unsigned long long>(r.rewrite_cache_hits),
+        static_cast<unsigned long long>(r.rewrite_cache_misses));
   }
   return out;
 }

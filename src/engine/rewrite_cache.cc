@@ -1,0 +1,97 @@
+#include "engine/rewrite_cache.h"
+
+#include <functional>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/metrics.h"
+
+namespace autoview {
+
+RewriteCache::RewriteCache(size_t num_shards, size_t capacity_per_shard)
+    : shards_(num_shards == 0 ? 1 : num_shards),
+      capacity_per_shard_(capacity_per_shard) {}
+
+RewriteCache::Shard& RewriteCache::ShardFor(
+    const std::string& canonical_key) const {
+  size_t h = std::hash<std::string>{}(canonical_key);
+  return shards_[h % shards_.size()];
+}
+
+bool RewriteCache::Lookup(const std::string& canonical_key,
+                          uint64_t generation, CachedRewrite* out) const {
+  AV_CHECK(out != nullptr);
+  Shard& shard = ShardFor(canonical_key);
+  MutexLock lock(shard.mu);
+  auto it = shard.entries.find(Key{canonical_key, generation});
+  if (it == shard.entries.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+void RewriteCache::Insert(const std::string& canonical_key,
+                          uint64_t generation, CachedRewrite entry) {
+  Shard& shard = ShardFor(canonical_key);
+  MutexLock lock(shard.mu);
+  Key key{canonical_key, generation};
+  auto [it, inserted] = shard.entries.try_emplace(key, std::move(entry));
+  if (!inserted) {
+    it->second = std::move(entry);
+    return;  // replacement keeps the original FIFO slot
+  }
+  shard.fifo.push_back(key);
+  GlobalRewriteCache().RecordInsert();
+  if (capacity_per_shard_ == 0) return;
+  while (shard.entries.size() > capacity_per_shard_ && !shard.fifo.empty()) {
+    // FIFO entries can be stale (erased by healing or invalidation);
+    // popping a stale key frees no entry, so keep popping.
+    Key victim = std::move(shard.fifo.front());
+    shard.fifo.pop_front();
+    shard.entries.erase(victim);
+  }
+}
+
+void RewriteCache::Erase(const std::string& canonical_key,
+                         uint64_t generation) {
+  Shard& shard = ShardFor(canonical_key);
+  MutexLock lock(shard.mu);
+  shard.entries.erase(Key{canonical_key, generation});
+  // The FIFO slot stays behind; capacity eviction skips stale keys.
+}
+
+void RewriteCache::InvalidateBefore(uint64_t generation) {
+  uint64_t dropped = 0;
+  for (Shard& shard : shards_) {
+    MutexLock lock(shard.mu);
+    for (auto it = shard.entries.begin(); it != shard.entries.end();) {
+      if (it->first.generation < generation) {
+        it = shard.entries.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+    if (shard.entries.empty()) shard.fifo.clear();
+  }
+  GlobalRewriteCache().RecordInvalidationSweep();
+  if (dropped > 0) GlobalRewriteCache().RecordInvalidatedEntries(dropped);
+}
+
+void RewriteCache::Clear() {
+  for (Shard& shard : shards_) {
+    MutexLock lock(shard.mu);
+    shard.entries.clear();
+    shard.fifo.clear();
+  }
+}
+
+size_t RewriteCache::size() const {
+  size_t total = 0;
+  for (Shard& shard : shards_) {
+    MutexLock lock(shard.mu);
+    total += shard.entries.size();
+  }
+  return total;
+}
+
+}  // namespace autoview

@@ -1,0 +1,85 @@
+#include "engine/view_index.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "engine/view_store.h"
+#include "util/logging.h"
+
+namespace autoview {
+
+ViewIndex::ViewIndex(size_t num_shards)
+    : shards_(num_shards == 0 ? 1 : num_shards) {}
+
+ViewIndex::Shard& ViewIndex::ShardFor(const std::string& canonical_key) const {
+  size_t h = std::hash<std::string>{}(canonical_key);
+  return shards_[h % shards_.size()];
+}
+
+void ViewIndex::Insert(const MaterializedView& view) {
+  InsertKeyed(view.canonical_key, view.id, view.table_name);
+}
+
+void ViewIndex::InsertKeyed(const std::string& canonical_key, int64_t id,
+                            const std::string& table_name) {
+  Shard& shard = ShardFor(canonical_key);
+  MutexLock lock(shard.mu);
+  std::vector<Candidate>& bucket = shard.buckets[canonical_key];
+  // Keep the bucket sorted ascending by id so probes replay the exact
+  // order the sequential per-view oracle visits views in (PinLive lists
+  // views ascending by id).
+  auto it = std::lower_bound(
+      bucket.begin(), bucket.end(), id,
+      [](const Candidate& c, int64_t want) { return c.id < want; });
+  if (it != bucket.end() && it->id == id) {
+    it->table_name = table_name;  // idempotent re-install
+    return;
+  }
+  bucket.insert(it, Candidate{id, table_name});
+}
+
+void ViewIndex::Erase(const std::string& canonical_key, int64_t id) {
+  Shard& shard = ShardFor(canonical_key);
+  MutexLock lock(shard.mu);
+  auto bucket_it = shard.buckets.find(canonical_key);
+  if (bucket_it == shard.buckets.end()) return;
+  std::vector<Candidate>& bucket = bucket_it->second;
+  auto it = std::lower_bound(
+      bucket.begin(), bucket.end(), id,
+      [](const Candidate& c, int64_t want) { return c.id < want; });
+  if (it == bucket.end() || it->id != id) return;
+  bucket.erase(it);
+  if (bucket.empty()) shard.buckets.erase(bucket_it);
+}
+
+void ViewIndex::Clear() {
+  for (Shard& shard : shards_) {
+    MutexLock lock(shard.mu);
+    shard.buckets.clear();
+  }
+}
+
+bool ViewIndex::Probe(const std::string& canonical_key,
+                      std::vector<Candidate>* out) const {
+  AV_CHECK(out != nullptr);
+  out->clear();
+  Shard& shard = ShardFor(canonical_key);
+  MutexLock lock(shard.mu);
+  auto it = shard.buckets.find(canonical_key);
+  if (it == shard.buckets.end()) return false;
+  *out = it->second;
+  return !out->empty();
+}
+
+size_t ViewIndex::size() const {
+  size_t total = 0;
+  for (Shard& shard : shards_) {
+    MutexLock lock(shard.mu);
+    for (const auto& [key, bucket] : shard.buckets) {
+      total += bucket.size();
+    }
+  }
+  return total;
+}
+
+}  // namespace autoview

@@ -179,6 +179,7 @@ Result<const MaterializedView*> MaterializedViewStore::InstallLocked(
   auto [it, inserted] = by_id_.emplace(view.id, Entry{std::move(view), 0, false});
   by_key_.emplace(it->second.view.canonical_key, it->first);
   (void)inserted;
+  index_.Insert(it->second.view);
   return &it->second.view;
 }
 
@@ -286,6 +287,7 @@ Status MaterializedViewStore::DoomLocked(EntryMap::iterator it) {
     AV_RETURN_NOT_OK(log_->Append(record));
   }
   by_key_.erase(entry.view.canonical_key);
+  index_.Erase(entry.view.canonical_key, entry.view.id);
   if (entry.pins > 0) {
     // Logically dropped now (committed above); the table and the byte
     // accounting survive until the last snapshot unpins it.
@@ -324,6 +326,31 @@ ViewSetSnapshot MaterializedViewStore::PinLive() {
   snapshot.generation_ = generation_;
   for (auto& [id, entry] : by_id_) {
     if (entry.doomed) continue;
+    ++entry.pins;
+    snapshot.ids_.push_back(id);
+    snapshot.views_.push_back(&entry.view);
+  }
+  return snapshot;
+}
+
+Result<ViewSetSnapshot> MaterializedViewStore::PinViews(
+    const std::vector<int64_t>& ids) {
+  MutexLock lock(mu_);
+  // All-or-nothing: verify every id first so a partial failure never
+  // leaks pins.
+  for (int64_t id : ids) {
+    auto it = by_id_.find(id);
+    if (it == by_id_.end() || it->second.doomed) {
+      return Status::NotFound(
+          StrFormat("view %lld is no longer live",
+                    static_cast<long long>(id)));
+    }
+  }
+  ViewSetSnapshot snapshot;
+  snapshot.store_ = this;
+  snapshot.generation_ = generation_;
+  for (int64_t id : ids) {
+    Entry& entry = by_id_.find(id)->second;
     ++entry.pins;
     snapshot.ids_.push_back(id);
     snapshot.views_.push_back(&entry.view);
@@ -399,30 +426,39 @@ uint64_t MaterializedViewStore::BeginSwap() {
 }
 
 Status MaterializedViewStore::CommitSwap(uint64_t generation) {
-  MutexLock lock(mu_);
-  if (generation <= generation_) {
-    return Status::InvalidArgument("swap generation is not newer than current");
-  }
-  if (log_) {
-    ViewLogRecord record;
-    record.kind = ViewLogRecord::Kind::kCheckpoint;
-    record.generation = generation;
-    record.next_id = next_id_;
-    // avcheck:allow(blocking-under-lock): WAL append under mu_ is the
-    // commit point — the generation bump and its checkpoint record
-    // must be atomic w.r.t. concurrent swaps and crash recovery.
-    AV_RETURN_NOT_OK(log_->Append(record));
-  }
-  generation_ = generation;
-  std::vector<int64_t> retired;
-  for (const auto& [id, entry] : by_id_) {
-    if (!entry.doomed && entry.view.generation < generation) {
-      retired.push_back(id);
+  {
+    MutexLock lock(mu_);
+    if (generation <= generation_) {
+      return Status::InvalidArgument(
+          "swap generation is not newer than current");
+    }
+    if (log_) {
+      ViewLogRecord record;
+      record.kind = ViewLogRecord::Kind::kCheckpoint;
+      record.generation = generation;
+      record.next_id = next_id_;
+      // avcheck:allow(blocking-under-lock): WAL append under mu_ is the
+      // commit point — the generation bump and its checkpoint record
+      // must be atomic w.r.t. concurrent swaps and crash recovery.
+      AV_RETURN_NOT_OK(log_->Append(record));
+    }
+    generation_ = generation;
+    std::vector<int64_t> retired;
+    for (const auto& [id, entry] : by_id_) {
+      if (!entry.doomed && entry.view.generation < generation) {
+        retired.push_back(id);
+      }
+    }
+    for (int64_t id : retired) {
+      AV_RETURN_NOT_OK(DoomLocked(by_id_.find(id)));
     }
   }
-  for (int64_t id : retired) {
-    AV_RETURN_NOT_OK(DoomLocked(by_id_.find(id)));
-  }
+  // Outside mu_: every rewrite cached under an older generation is now
+  // stale wholesale. Serving threads racing this sweep either looked up
+  // the old generation (their pins keep retired views alive) or the new
+  // one (a miss — the old entries are unreachable regardless of when
+  // the sweep gets to them).
+  rewrite_cache_.InvalidateBefore(generation);
   return Status::OK();
 }
 
@@ -504,6 +540,7 @@ Status MaterializedViewStore::RematerializeRecovered(
   auto [it, inserted] = by_id_.emplace(view.id, Entry{std::move(view), 0, false});
   by_key_.emplace(it->second.view.canonical_key, it->first);
   (void)inserted;
+  index_.Insert(it->second.view);
   GlobalViewStore().RecordRecoveredView();
   return Status::OK();
 }

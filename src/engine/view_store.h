@@ -12,6 +12,8 @@
 #include "engine/cost.h"
 #include "engine/database.h"
 #include "engine/executor.h"
+#include "engine/rewrite_cache.h"
+#include "engine/view_index.h"
 #include "engine/view_store_log.h"
 #include "plan/plan.h"
 #include "util/annotations.h"
@@ -202,6 +204,24 @@ class MaterializedViewStore {
   /// Pins every live view (all generations) at one instant.
   ViewSetSnapshot PinLive() AV_EXCLUDES(mu_);
 
+  /// Pins exactly the views in `ids`, all-or-nothing: NotFound (and no
+  /// pins taken) when any id is absent or logically dropped. The fast
+  /// serving path uses this to pin only the views a rewritten plan
+  /// actually scans — O(|ids|) instead of PinLive's O(store).
+  Result<ViewSetSnapshot> PinViews(const std::vector<int64_t>& ids)
+      AV_EXCLUDES(mu_);
+
+  /// The canonical-key -> candidate-views index this store maintains
+  /// (insert on install/recovery, erase on doom). Always probe-safe;
+  /// pin before executing against a probed view (see ViewIndex).
+  const ViewIndex& view_index() const { return index_; }
+
+  /// The (plan canonical key, generation)-keyed rewrite-result cache.
+  /// CommitSwap invalidates every older-generation entry. Exposed
+  /// non-const: the serving path (Rewriter::RewriteServing) inserts,
+  /// heals, and looks up entries directly.
+  RewriteCache& rewrite_cache() { return rewrite_cache_; }
+
   /// Drops the view and its backing table (deferred while pinned).
   Status Drop(int64_t id) AV_EXCLUDES(mu_);
 
@@ -311,6 +331,13 @@ class MaterializedViewStore {
   Database* db_;
   const ViewStoreOptions options_;
   std::unique_ptr<ViewStateLog> log_;  ///< null when wal_path is empty
+
+  // Internally synchronized (per-shard mutexes); mutated while holding
+  // mu_ (installs/dooms keep index and entry map in lockstep), probed
+  // without it. Lock order is therefore mu_ -> shard mutex, and neither
+  // structure ever acquires anything itself, so the order is acyclic.
+  ViewIndex index_;
+  RewriteCache rewrite_cache_;
 
   mutable Mutex mu_;
   int64_t next_id_ AV_GUARDED_BY(mu_) = 1;

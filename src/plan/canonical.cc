@@ -64,25 +64,25 @@ std::string CanonicalExprKey(const Expr& expr) {
   return "?";
 }
 
-std::string CanonicalKey(const PlanNode& node) {
+std::string CanonicalKeyWithChildren(
+    const PlanNode& node, const std::vector<std::string>& child_keys) {
   switch (node.op()) {
     case PlanOp::kTableScan:
       return "Scan{" + node.table() + "}";
     case PlanOp::kFilter:
       return "Filter{" + CanonicalExprKey(*node.predicate()) + "}(" +
-             CanonicalKey(*node.child(0)) + ")";
+             child_keys[0] + ")";
     case PlanOp::kProject: {
       std::vector<std::string> items;
       for (const auto& item : node.projections()) {
         items.push_back(item.name + "<-" + CanonicalExprKey(*item.expr));
       }
       std::sort(items.begin(), items.end());
-      return "Project{" + Join(items, ",") + "}(" +
-             CanonicalKey(*node.child(0)) + ")";
+      return "Project{" + Join(items, ",") + "}(" + child_keys[0] + ")";
     }
     case PlanOp::kJoin: {
-      std::string l = CanonicalKey(*node.child(0));
-      std::string r = CanonicalKey(*node.child(1));
+      std::string l = child_keys[0];
+      std::string r = child_keys[1];
       if (r < l) std::swap(l, r);  // inner joins commute
       return "Join{" + CanonicalExprKey(*node.join_condition()) + "}(" + l +
              "," + r + ")";
@@ -94,14 +94,13 @@ std::string CanonicalKey(const PlanNode& node) {
                        (key.descending ? ":desc" : ":asc"));
       }
       // Key order is semantically significant; do not sort.
-      return "Sort{" + Join(keys, ",") + "}(" + CanonicalKey(*node.child(0)) +
-             ")";
+      return "Sort{" + Join(keys, ",") + "}(" + child_keys[0] + ")";
     }
     case PlanOp::kLimit:
-      return "Limit{" + std::to_string(node.limit()) + "}(" +
-             CanonicalKey(*node.child(0)) + ")";
+      return "Limit{" + std::to_string(node.limit()) + "}(" + child_keys[0] +
+             ")";
     case PlanOp::kDistinct:
-      return "Distinct(" + CanonicalKey(*node.child(0)) + ")";
+      return "Distinct(" + child_keys[0] + ")";
     case PlanOp::kAggregate: {
       std::vector<std::string> groups;
       for (size_t g : node.group_by()) {
@@ -115,10 +114,19 @@ std::string CanonicalKey(const PlanNode& node) {
       }
       std::sort(aggs.begin(), aggs.end());
       return "Agg{[" + Join(groups, ",") + "];[" + Join(aggs, ",") + "]}(" +
-             CanonicalKey(*node.child(0)) + ")";
+             child_keys[0] + ")";
     }
   }
   return "?";
+}
+
+std::string CanonicalKey(const PlanNode& node) {
+  std::vector<std::string> child_keys;
+  child_keys.reserve(node.children().size());
+  for (const auto& child : node.children()) {
+    child_keys.push_back(CanonicalKey(*child));
+  }
+  return CanonicalKeyWithChildren(node, child_keys);
 }
 
 uint64_t CanonicalHash(const PlanNode& node) {

@@ -22,6 +22,15 @@ namespace autoview {
 /// Returns a canonical string key for the plan rooted at `node`.
 std::string CanonicalKey(const PlanNode& node);
 
+/// Composes `node`'s canonical key from already-canonicalized child keys
+/// (one per child, in child order) without revisiting the subtrees.
+/// `CanonicalKey(n)` equals `CanonicalKeyWithChildren(n, keys-of-children)`
+/// by construction — the single-walk rewrite fast path relies on this to
+/// compute every node's key exactly once per plan (O(plan) keys instead
+/// of the O(plan²) of calling CanonicalKey at each node).
+std::string CanonicalKeyWithChildren(const PlanNode& node,
+                                     const std::vector<std::string>& child_keys);
+
 /// 64-bit hash of CanonicalKey (cheap map key).
 uint64_t CanonicalHash(const PlanNode& node);
 

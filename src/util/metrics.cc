@@ -139,6 +139,57 @@ ViewStoreCounters& GlobalViewStore() {
   return counters;
 }
 
+void RewriteCacheCounters::RecordHit() {
+  hits_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void RewriteCacheCounters::RecordMiss() {
+  misses_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void RewriteCacheCounters::RecordInsert() {
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void RewriteCacheCounters::RecordInvalidatedEntries(uint64_t entries) {
+  invalidated_entries_.fetch_add(entries, std::memory_order_relaxed);
+}
+
+void RewriteCacheCounters::RecordInvalidationSweep() {
+  invalidation_sweeps_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void RewriteCacheCounters::RecordPinFailure() {
+  pin_failures_.fetch_add(1, std::memory_order_relaxed);
+}
+
+RewriteCacheCounters::Snapshot RewriteCacheCounters::Read() const {
+  Snapshot s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.inserts = inserts_.load(std::memory_order_relaxed);
+  s.invalidated_entries =
+      invalidated_entries_.load(std::memory_order_relaxed);
+  s.invalidation_sweeps =
+      invalidation_sweeps_.load(std::memory_order_relaxed);
+  s.pin_failures = pin_failures_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void RewriteCacheCounters::Reset() {
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  inserts_.store(0, std::memory_order_relaxed);
+  invalidated_entries_.store(0, std::memory_order_relaxed);
+  invalidation_sweeps_.store(0, std::memory_order_relaxed);
+  pin_failures_.store(0, std::memory_order_relaxed);
+}
+
+RewriteCacheCounters& GlobalRewriteCache() {
+  static RewriteCacheCounters counters;
+  return counters;
+}
+
 namespace {
 /// Library-boundary guard: mismatched inputs poison the metric (NaN)
 /// instead of aborting the process.

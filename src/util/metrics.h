@@ -175,6 +175,62 @@ class ViewStoreCounters {
 /// The process-wide view-store counters.
 ViewStoreCounters& GlobalViewStore();
 
+/// \brief Lock-free counters of the serving-path rewrite cache, so a run
+/// can report how much of the rewrite work was amortized away: hits
+/// (plan served from cache), misses (full indexed walk ran), inserts,
+/// entries invalidated by generation swaps, whole-cache invalidation
+/// sweeps, and hits discarded because a cached view could no longer be
+/// pinned. A process-wide instance is reachable via GlobalRewriteCache()
+/// (the loadgen JSON reports hit/miss deltas per run).
+class RewriteCacheCounters {
+ public:
+  /// One Lookup that returned a cached rewrite (and re-pinned its views).
+  void RecordHit();
+
+  /// One Lookup that found nothing for (key, generation).
+  void RecordMiss();
+
+  /// One rewrite result inserted into the cache.
+  void RecordInsert();
+
+  /// `entries` cache entries dropped by an invalidation sweep.
+  void RecordInvalidatedEntries(uint64_t entries);
+
+  /// One InvalidateBefore sweep (CommitSwap generation bump).
+  void RecordInvalidationSweep();
+
+  /// One cached entry discarded because PinViews failed on its view ids
+  /// (a referenced view was evicted within the same generation).
+  void RecordPinFailure();
+
+  struct Snapshot {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t inserts = 0;
+    uint64_t invalidated_entries = 0;
+    uint64_t invalidation_sweeps = 0;
+    uint64_t pin_failures = 0;
+  };
+  Snapshot Read() const;
+
+  /// Zeroes every counter (tests, benches).
+  void Reset();
+
+ private:
+  // Relaxed (see util/annotations.h conventions): hammered from serving
+  // threads; only per-counter totals matter, no cross-counter ordering
+  // is promised.
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> inserts_{0};
+  std::atomic<uint64_t> invalidated_entries_{0};
+  std::atomic<uint64_t> invalidation_sweeps_{0};
+  std::atomic<uint64_t> pin_failures_{0};
+};
+
+/// The process-wide rewrite-cache counters.
+RewriteCacheCounters& GlobalRewriteCache();
+
 /// \brief Streaming mean / variance / min / max accumulator (Welford).
 class RunningStat {
  public:

@@ -139,6 +139,49 @@ void P::F() {
   EXPECT_GE(Count(f, "lock-order"), 1);
 }
 
+TEST(LockOrder, StoreToShardMutexHierarchyIsClean) {
+  // The serving fast path's locking shape: the store mutates its
+  // ViewIndex/RewriteCache under mu_ (store mutex -> shard mutex), and
+  // probes take only the shard mutex. One-directional, so no cycle.
+  const char* src = R"(
+namespace autoview {
+class Idx {
+ public:
+  void Insert();
+  void Probe() const;
+  struct Shard {
+    mutable Mutex mu;
+    int buckets AV_GUARDED_BY(mu) = 0;
+  };
+  Shard shard_;
+};
+void Idx::Insert() {
+  MutexLock lock(shard_.mu);
+  shard_.buckets = 1;
+}
+void Idx::Probe() const {
+  MutexLock lock(shard_.mu);
+}
+class Store {
+ public:
+  void Install();
+  mutable Mutex mu_;
+  int by_id_ AV_GUARDED_BY(mu_) = 0;
+  Idx index_;
+};
+void Store::Install() {
+  MutexLock lock(mu_);
+  by_id_ = 1;
+  index_.Insert();
+}
+}
+)";
+  std::vector<Finding> f = RunOn({{"src/core/shard.cc", src}},
+                                 {"lock-order", "blocking-under-lock"});
+  EXPECT_EQ(Count(f, "lock-order"), 0);
+  EXPECT_EQ(Count(f, "blocking-under-lock"), 0);
+}
+
 // ---------------------------------------------------------------------------
 // blocking-under-lock
 
@@ -156,6 +199,32 @@ void F() {
       RunOn({{"src/core/wait.cc", src}}, {"blocking-under-lock"});
   ASSERT_EQ(Count(f, "blocking-under-lock"), 1);
   EXPECT_NE(f[0].message.find("WaitIdle"), std::string::npos);
+}
+
+TEST(BlockingUnderLock, ShardMutexMemberIsTracked) {
+  // A sharded structure (view index / rewrite cache shape): the walker
+  // must resolve `shard_.mu` to the nested Shard::mu and flag blocking
+  // work under it just like a top-level class mutex.
+  const char* src = R"(
+namespace autoview {
+struct Cache {
+  void Sweep();
+  struct Shard {
+    mutable Mutex mu;
+    int entries AV_GUARDED_BY(mu) = 0;
+  };
+  Shard shard_;
+};
+void Cache::Sweep() {
+  MutexLock lock(shard_.mu);
+  WaitIdle();
+}
+}
+)";
+  std::vector<Finding> f =
+      RunOn({{"src/core/shard_block.cc", src}}, {"blocking-under-lock"});
+  ASSERT_EQ(Count(f, "blocking-under-lock"), 1);
+  EXPECT_NE(f[0].message.find("Shard::mu"), std::string::npos);
 }
 
 TEST(BlockingUnderLock, WaitOutsideLockIsClean) {

@@ -361,6 +361,55 @@ TEST_F(EngineTest, RewriteAfterViewDroppedFallsBackToBaseTables) {
   EXPECT_TRUE(TablesEqualUnordered(original.table, after.table));
 }
 
+TEST_F(EngineTest, RewriteRestoresWideSchemaColumnOrder) {
+  // 48-column table; the query projects the columns in reverse order
+  // with renames, so BuildReplacement's name -> index matching (a map,
+  // not the old per-column linear scan) must restore every position
+  // exactly. Guards the wide-schema output-matching path.
+  const size_t kCols = 48;
+  std::vector<ColumnSchema> cols;
+  for (size_t c = 0; c < kCols; ++c) {
+    cols.push_back({"c" + std::to_string(c), ColumnType::kInt64});
+  }
+  std::vector<Row> rows;
+  for (int64_t r = 0; r < 20; ++r) {
+    Row row;
+    for (size_t c = 0; c < kCols; ++c) {
+      row.push_back(Value(r * 100 + static_cast<int64_t>(c)));
+    }
+    rows.push_back(std::move(row));
+  }
+  ASSERT_TRUE(db_.AddTable(TableSchema("wide", cols), std::move(rows)).ok());
+  ASSERT_TRUE(db_.ComputeAllStats().ok());
+
+  std::string select = "SELECT ";
+  for (size_t c = kCols; c-- > 0;) {
+    select += "c" + std::to_string(c) + " AS r" + std::to_string(c);
+    if (c != 0) select += ", ";
+  }
+  auto query = MustBuild(select + " FROM wide WHERE c0 >= 0");
+  ASSERT_NE(query, nullptr);
+  auto original = MustExecute(query);
+  ASSERT_EQ(original.table.num_columns(), kCols);
+
+  Executor exec(&db_);
+  MaterializedViewStore store(&db_);
+  auto view = store.Materialize(query, exec);
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+
+  Rewriter rewriter(&db_.catalog());
+  bool changed = false;
+  auto rewritten = rewriter.Rewrite(query, *view.value(), &changed);
+  ASSERT_TRUE(rewritten.ok()) << rewritten.status().ToString();
+  EXPECT_TRUE(changed);
+  auto after = MustExecute(rewritten.value());
+  ASSERT_EQ(after.table.num_columns(), kCols);
+  for (size_t c = 0; c < kCols; ++c) {
+    EXPECT_EQ(after.table.columns[c].name, original.table.columns[c].name);
+  }
+  EXPECT_TRUE(TablesEqualUnordered(original.table, after.table));
+}
+
 TEST_F(EngineTest, SpillPenaltyKicksInAboveThreshold) {
   CostConstants consts;
   EXPECT_EQ(consts.SpillMultiplier(0.0), 1.0);

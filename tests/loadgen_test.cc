@@ -48,6 +48,7 @@ TEST(LoadGenConfigTest, EveryFieldRoundTrips) {
   config.drift = "shift";
   config.online = true;
   config.advisor_epoch = 9;
+  config.fast_path = false;
   config.csv_file = "out.csv";
   config.json_file = "out.json";
   const auto parsed = ParseLoadGenArgs(ToArgs(config));
@@ -252,6 +253,52 @@ TEST(LoadGenRunTest, OnlineModeReselectsAndSwapsWhileServing) {
   EXPECT_EQ(r.swaps_committed, r.reselections);
 }
 
+TEST(LoadGenRunTest, FastPathMatchesOracleAndBreaksDownPhases) {
+  LoadGenConfig config;
+  config.workload = "WK1";
+  config.scale = 0.15;
+  config.max_requests = 6;
+  config.clients = 2;
+  config.select_iterations = 20;
+  config.select_timeout_s = 10.0;
+
+  config.fast_path = true;
+  const auto fast = RunLoadGen(config);
+  ASSERT_TRUE(fast.ok()) << fast.status().ToString();
+  config.fast_path = false;
+  const auto oracle = RunLoadGen(config);
+  ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+
+  // Same pipeline, same schedule, same answers — only the serving
+  // mechanism differs.
+  EXPECT_TRUE(fast.value().fast_path);
+  EXPECT_FALSE(oracle.value().fast_path);
+  EXPECT_EQ(fast.value().requests, 12u);
+  EXPECT_EQ(oracle.value().requests, 12u);
+  EXPECT_EQ(fast.value().failed_requests, 0u);
+  EXPECT_EQ(oracle.value().failed_requests, 0u);
+  EXPECT_EQ(fast.value().num_selected, oracle.value().num_selected);
+  EXPECT_EQ(fast.value().select_utility, oracle.value().select_utility);
+
+  // The fast path consulted the rewrite cache once per request; the
+  // oracle path never touches it.
+  EXPECT_EQ(fast.value().rewrite_cache_hits + fast.value().rewrite_cache_misses,
+            12u);
+  EXPECT_GT(fast.value().rewrite_cache_hits, 0u);
+  EXPECT_EQ(oracle.value().rewrite_cache_hits, 0u);
+  EXPECT_EQ(oracle.value().rewrite_cache_misses, 0u);
+
+  // Phase breakdown covers the same requests as the end-to-end numbers.
+  for (const auto* r : {&fast.value(), &oracle.value()}) {
+    EXPECT_GT(r->execute_p50_ms, 0.0);
+    EXPECT_LE(r->parse_p50_ms, r->parse_p99_ms);
+    EXPECT_LE(r->rewrite_p50_ms, r->rewrite_p99_ms);
+    EXPECT_LE(r->execute_p50_ms, r->execute_p99_ms);
+    EXPECT_LE(r->parse_p99_ms + r->rewrite_p99_ms + r->execute_p99_ms,
+              3 * r->p99_ms + 1.0);
+  }
+}
+
 // ---------------------------------------------------------------------
 // Golden CSV/JSON.
 
@@ -288,6 +335,18 @@ LoadGenResult FixtureResult() {
   r.ingested = 80;
   r.reselections = 5;
   r.swaps_committed = 5;
+  r.fast_path = true;
+  r.parse_p50_ms = 0.125;
+  r.parse_p95_ms = 0.25;
+  r.parse_p99_ms = 0.375;
+  r.rewrite_p50_ms = 0.0625;
+  r.rewrite_p95_ms = 0.125;
+  r.rewrite_p99_ms = 0.1875;
+  r.execute_p50_ms = 0.25;
+  r.execute_p95_ms = 0.75;
+  r.execute_p99_ms = 1.5;
+  r.rewrite_cache_hits = 70;
+  r.rewrite_cache_misses = 10;
   return r;
 }
 
@@ -307,7 +366,14 @@ TEST(LoadGenWriterTest, GoldenJson) {
       "\"store_views\": 3, \"evictions\": 2, "
       "\"rewrite_fallbacks\": 1, \"failed_requests\": 0, "
       "\"drift\": \"churn\", \"online\": true, \"ingested\": 80, "
-      "\"reselections\": 5, \"swaps_committed\": 5}\n"
+      "\"reselections\": 5, \"swaps_committed\": 5, "
+      "\"fast_path\": true, "
+      "\"parse_p50_ms\": 0.125, \"parse_p95_ms\": 0.250, "
+      "\"parse_p99_ms\": 0.375, \"rewrite_p50_ms\": 0.062, "
+      "\"rewrite_p95_ms\": 0.125, \"rewrite_p99_ms\": 0.188, "
+      "\"execute_p50_ms\": 0.250, \"execute_p95_ms\": 0.750, "
+      "\"execute_p99_ms\": 1.500, \"rewrite_cache_hits\": 70, "
+      "\"rewrite_cache_misses\": 10}\n"
       "  ]\n"
       "}\n";
   EXPECT_EQ(ThroughputJson({FixtureResult()}), expected);
@@ -320,9 +386,13 @@ TEST(LoadGenWriterTest, GoldenCsv) {
       "csr_bytes,peak_rss_mb,select_utility,select_timed_out,"
       "view_budget_bytes,store_bytes,store_views,evictions,"
       "rewrite_fallbacks,failed_requests,drift,online,ingested,"
-      "reselections,swaps_committed\n"
+      "reselections,swaps_committed,fast_path,parse_p50_ms,parse_p95_ms,"
+      "parse_p99_ms,rewrite_p50_ms,rewrite_p95_ms,rewrite_p99_ms,"
+      "execute_p50_ms,execute_p95_ms,execute_p99_ms,rewrite_cache_hits,"
+      "rewrite_cache_misses\n"
       "WK1,scaled,48,24,6,3,4,12345,80,0.062,1280.00,0.500,1.250,2.500,"
-      "0.625,2,150,10.5,0.0625,0,65536,4096,3,2,1,0,churn,1,80,5,5\n";
+      "0.625,2,150,10.5,0.0625,0,65536,4096,3,2,1,0,churn,1,80,5,5,"
+      "1,0.125,0.250,0.375,0.062,0.125,0.188,0.250,0.750,1.500,70,10\n";
   EXPECT_EQ(ThroughputCsv({FixtureResult()}), expected);
 }
 
